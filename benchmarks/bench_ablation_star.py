@@ -1,0 +1,46 @@
+"""Ablation 1 (DESIGN.md §5): FAST-Star's hash-map second-edge counting
+vs the explicit middle-edge rescan the paper contrasts against."""
+
+import pytest
+
+from conftest import DELTA, bench_graph, once, write_report
+from repro.bench.harness import format_table, time_call
+from repro.core.ablation import count_star_pair_rescan
+from repro.core.fast_star import count_star_pair
+
+DATASETS = ("collegemsg", "superuser")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fast_star_hashmap(benchmark, dataset):
+    graph = bench_graph(dataset)
+    once(benchmark, lambda: count_star_pair(graph, DELTA))
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fast_star_rescan(benchmark, dataset):
+    graph = bench_graph(dataset)
+    once(benchmark, lambda: count_star_pair_rescan(graph, DELTA))
+
+
+def test_ablation_star_report(benchmark):
+    rows = []
+
+    def run():
+        for dataset in DATASETS:
+            graph = bench_graph(dataset)
+            fast = time_call(lambda: count_star_pair(graph, DELTA))
+            rescan = time_call(lambda: count_star_pair_rescan(graph, DELTA))
+            rows.append([dataset, fast, rescan, f"{rescan / fast:.1f}x"])
+        return rows
+
+    once(benchmark, run)
+    text = format_table(
+        ["dataset", "FAST-Star (hash maps)", "mid-edge rescan", "slowdown"],
+        rows,
+        title="Ablation: the min/mout hash-map optimisation of Algorithm 1",
+    )
+    write_report("ablation_star", text)
+    # both variants verified equal in tests; here assert the rescans cost more
+    for row in rows:
+        assert row[2] >= row[1], row

@@ -1,0 +1,50 @@
+"""Ablations 2 & 4 (DESIGN.md §5): FAST-Tri's pair-timeline bisection
+windows, and triple-count-then-divide vs single-thread center removal."""
+
+import pytest
+
+from conftest import DELTA, bench_graph, once, write_report
+from repro.bench.harness import format_table, time_call
+from repro.core.ablation import count_triangle_no_window
+from repro.core.fast_tri import count_triangle
+
+DATASETS = ("collegemsg", "superuser")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fast_tri_windowed(benchmark, dataset):
+    graph = bench_graph(dataset)
+    once(benchmark, lambda: count_triangle(graph, DELTA))
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fast_tri_full_scan(benchmark, dataset):
+    graph = bench_graph(dataset)
+    once(benchmark, lambda: count_triangle_no_window(graph, DELTA))
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fast_tri_remove_centers(benchmark, dataset):
+    graph = bench_graph(dataset)
+    once(benchmark, lambda: count_triangle(graph, DELTA, remove_centers=True))
+
+
+def test_ablation_tri_report(benchmark):
+    rows = []
+
+    def run():
+        for dataset in DATASETS:
+            graph = bench_graph(dataset)
+            windowed = time_call(lambda: count_triangle(graph, DELTA))
+            full = time_call(lambda: count_triangle_no_window(graph, DELTA))
+            dedup = time_call(lambda: count_triangle(graph, DELTA, remove_centers=True))
+            rows.append([dataset, windowed, full, dedup])
+        return rows
+
+    once(benchmark, run)
+    text = format_table(
+        ["dataset", "FAST-Tri (bisect windows)", "full pair scan", "center removal"],
+        rows,
+        title="Ablation: pair-timeline windows and the de-duplication strategies",
+    )
+    write_report("ablation_tri", text)

@@ -1,0 +1,40 @@
+"""E-F12a — Fig. 12(a): sensitivity to the time window δ.
+
+Paper shape: EX's window counters do O(1) work per event regardless of
+δ, so EX is nearly flat; FAST/HARE scans grow with the in-window
+degree d^δ, so HARE grows mildly.  The report asserts the *relative*
+growth ordering rather than absolute numbers.
+"""
+
+import pytest
+
+from conftest import SCALE, bench_graph, once, write_report
+from repro.baselines.exact_ex import ex_count
+from repro.bench.experiments import FIG12A_DELTAS, run_fig12a
+from repro.core.api import count_motifs
+
+SWEEP = (FIG12A_DELTAS[0], FIG12A_DELTAS[-1])  # 7200 and 28800 seconds
+
+
+@pytest.mark.parametrize("delta", SWEEP)
+def test_fig12a_fast_delta(benchmark, delta):
+    graph = bench_graph("superuser")
+    once(benchmark, lambda: count_motifs(graph, delta))
+
+
+@pytest.mark.parametrize("delta", SWEEP)
+def test_fig12a_ex_delta(benchmark, delta):
+    graph = bench_graph("superuser")
+    once(benchmark, lambda: ex_count(graph, delta))
+
+
+def test_fig12a_report(benchmark):
+    result = once(benchmark, lambda: run_fig12a(scale=SCALE, workers=2))
+    write_report("fig12a", result.render())
+    series = result.data["series"]
+    for name, values in series.items():
+        growth = values[-1] / max(values[0], 1e-9)
+        if name.startswith("EX-"):
+            # EX should stay within ~2.5x across a 4x delta sweep
+            # (flat up to constant-factor noise and slab overlap).
+            assert growth < 2.5, (name, values)

@@ -1,0 +1,31 @@
+"""E-F12b — Fig. 12(b): sensitivity to the degree threshold thrd.
+
+Compares HARE's hierarchical mode (intra-node splitting of heavy
+nodes + dynamic scheduling) against inter-node-only and static
+("without thrd") configurations on the skew-heavy WikiTalk twin.
+"""
+
+import pytest
+
+from conftest import DELTA, SCALE, bench_graph, once, write_report
+from repro.bench.experiments import run_fig12b
+from repro.graph.statistics import default_degree_threshold
+from repro.parallel.hare import hare_count
+
+
+@pytest.mark.parametrize("config", ["default_thrd", "no_intra", "static_no_thrd"])
+def test_fig12b_configs(benchmark, config):
+    graph = bench_graph("wikitalk")
+    thrd = default_degree_threshold(graph, 20)
+    kwargs = {
+        "default_thrd": {"thrd": thrd, "schedule": "dynamic"},
+        "no_intra": {"thrd": float("inf"), "schedule": "dynamic"},
+        "static_no_thrd": {"thrd": float("inf"), "schedule": "static"},
+    }[config]
+    once(benchmark, lambda: hare_count(graph, DELTA, workers=2, **kwargs))
+
+
+def test_fig12b_report(benchmark):
+    result = once(benchmark, lambda: run_fig12b(scale=SCALE, delta=DELTA, workers=(1, 2)))
+    write_report("fig12b", result.render())
+    assert result.data["base_thrd"] > 0

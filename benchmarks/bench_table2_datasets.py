@@ -1,0 +1,32 @@
+"""E-T2 — Table II: dataset statistics.
+
+Benchmarks dataset twin generation and statistics computation, and
+writes the paper-vs-generated statistics table to the reports dir.
+"""
+
+import pytest
+
+from conftest import SCALE, bench_graph, once, write_report
+from repro.bench.experiments import run_table2
+from repro.graph.datasets import REGISTRY
+from repro.graph.statistics import compute_statistics
+
+
+@pytest.mark.parametrize("dataset", ["collegemsg", "superuser", "soc_bitcoin"])
+def test_generate_dataset(benchmark, dataset):
+    spec = REGISTRY[dataset]
+    result = once(benchmark, lambda: spec.build(SCALE))
+    assert result.num_edges == max(1, int(spec.gen_edges * SCALE))
+
+
+@pytest.mark.parametrize("dataset", ["collegemsg", "superuser"])
+def test_compute_statistics(benchmark, dataset):
+    graph = bench_graph(dataset)
+    stats = benchmark(lambda: compute_statistics(graph))
+    assert stats.num_edges == graph.num_edges
+
+
+def test_table2_report(benchmark):
+    result = once(benchmark, lambda: run_table2(scale=SCALE))
+    assert len(result.rows) == 16
+    write_report("table2", result.render())

@@ -1,0 +1,65 @@
+"""Temporal-cycle scanning on a transaction network.
+
+Temporal cycles — value leaving an account and returning to it within
+a short window — are a classic money-laundering signature, and the
+reason the paper benchmarks against 2SCENT.  This example scans a
+Bitcoin-like twin for cycles with both engines:
+
+* FAST-Tri for the 3-edge cyclic motif **M26** (exact count, fast),
+* the 2SCENT enumerator for *instances* of cycles up to length 5,
+  reporting the accounts that participate in the most cycles.
+
+Run:  python examples/cycle_fraud_scan.py [--scale 0.2] [--delta 3600]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from collections import Counter
+
+from repro import count_motifs, load_dataset
+from repro.baselines.twoscent import enumerate_cycles
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.2)
+    parser.add_argument("--delta", type=float, default=3600)
+    parser.add_argument("--max-len", type=int, default=5)
+    args = parser.parse_args()
+
+    graph = load_dataset("soc_bitcoin", args.scale)
+    print(f"transaction graph: {graph}")
+
+    t0 = time.perf_counter()
+    counts = count_motifs(graph, args.delta, categories="triangle")
+    t1 = time.perf_counter()
+    print(
+        f"\nFAST-Tri: {counts['M26']:,} cyclic triangles (M26) within "
+        f"δ={args.delta:.0f}s  [{t1 - t0:.2f}s]"
+    )
+
+    t0 = time.perf_counter()
+    node_hits: Counter = Counter()
+    by_length: Counter = Counter()
+    src, dst, _ = graph.edge_lists()
+    for cycle in enumerate_cycles(graph, args.delta, max_length=args.max_len, min_length=3):
+        by_length[len(cycle)] += 1
+        for eid in cycle:
+            node_hits[src[eid]] += 1
+    t1 = time.perf_counter()
+
+    print(f"2SCENT enumeration (length 3..{args.max_len})  [{t1 - t0:.2f}s]:")
+    for length in sorted(by_length):
+        print(f"  length {length}: {by_length[length]:,} cycles")
+    assert by_length.get(3, 0) == counts["M26"], "engines must agree on M26"
+    print("  (3-cycles agree with FAST-Tri's M26 count)")
+
+    print("\naccounts on the most cycles (laundering candidates):")
+    for node, hits in node_hits.most_common(5):
+        print(f"  account {graph.label(node)}: on {hits:,} cycle edges")
+
+
+if __name__ == "__main__":
+    main()

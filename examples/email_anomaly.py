@@ -1,0 +1,110 @@
+"""Anomaly detection with temporal motif profiles.
+
+The paper's introduction motivates motif counting with anomaly
+detection: local structure changes faster than volume when behaviour
+changes.  This example builds an email-network twin, injects a
+spam-burst anomaly (one account blasting many recipients inside a few
+minutes), slides a window over the timeline, and flags windows whose
+*motif profile* (the normalised 36-vector) diverges from the global
+profile — the spam window lights up even though its edge volume is
+unremarkable.
+
+Run:  python examples/email_anomaly.py [--edges 20000]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import TemporalGraph, count_motifs
+from repro.graph import generators
+
+DELTA = 600  # 10-minute motif window, the paper's default
+WINDOW = 6 * 3600  # 6-hour detection windows
+
+
+def build_traffic(num_edges: int) -> TemporalGraph:
+    """Normal email traffic + one injected spam burst."""
+    base = generators.powerlaw_temporal_graph(
+        600,
+        num_edges,
+        span=14 * 86_400.0,  # two weeks
+        skew=0.8,
+        reciprocity=0.3,
+        repeat=0.1,
+        triadic=0.08,
+        seed=42,
+    )
+    edges = [(u, v, t) for u, v, t in base.internal_edges()]
+    # Spam burst: node 9000 cycles through ten addresses eight times
+    # within ~8 minutes, midway through the trace.  Repeated recipients
+    # matter: a blast to all-distinct addresses spans four nodes per
+    # triple and forms no 3-node motif at all.
+    t0 = 7 * 86_400
+    spam = [
+        (9000, 9100 + r, t0 + 60 * wave + 3 * r)
+        for wave in range(8)
+        for r in range(10)
+    ]
+    return TemporalGraph(edges + spam), t0
+
+
+def window_motif_rate(graph: TemporalGraph, lo: float, hi: float) -> tuple:
+    """(motif instances per edge, edge count) for edges in [lo, hi).
+
+    A spam blast multiplies the motifs-per-edge ratio: eighty edges
+    around one sender inside δ generate thousands of star instances,
+    while eighty normal edges generate dozens.
+    """
+    window_edges = [(u, v, t) for u, v, t in graph.internal_edges() if lo <= t < hi]
+    if len(window_edges) < 3:
+        return 0.0, len(window_edges)
+    counts = count_motifs(TemporalGraph(window_edges), DELTA)
+    return counts.total() / len(window_edges), len(window_edges)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--edges", type=int, default=20_000)
+    args = parser.parse_args()
+
+    graph, t_spam = build_traffic(args.edges)
+    print(f"traffic: {graph} (spam burst injected at t={t_spam})")
+
+    print(f"\n{'window':>14}  {'edges':>6}  {'motifs/edge':>11}")
+    t_end = float(graph.timestamps[-1])
+    windows = []
+    lo = 0.0
+    while lo < t_end:
+        hi = lo + WINDOW
+        rate, edges_in = window_motif_rate(graph, lo, hi)
+        windows.append((rate, lo, hi, edges_in))
+        lo = hi
+
+    # Robust threshold: median + 6 * MAD, so the anomaly itself cannot
+    # inflate the baseline the way a mean/stddev rule would allow.
+    rates = np.array([w[0] for w in windows if w[3] >= 3])
+    median = float(np.median(rates))
+    mad = float(np.median(np.abs(rates - median))) or 1e-9
+    threshold = median + 6 * mad
+
+    flagged = []
+    for rate, lo, hi, edges_in in windows:
+        marker = ""
+        if edges_in >= 3 and rate > threshold:
+            marker = "  <-- ANOMALY"
+            flagged.append((lo, hi))
+        print(f"  day {lo / 86_400:5.1f} +6h  {edges_in:6d}  {rate:11.2f}{marker}")
+
+    print(f"\nthreshold: median {median:.2f} + 6*MAD -> {threshold:.2f}")
+    print(f"flagged windows: {len(flagged)}")
+    hit = any(lo <= t_spam < hi for lo, hi in flagged)
+    print(f"spam burst window detected: {hit}")
+    if not hit:
+        raise SystemExit("expected the spam window to be flagged")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Characterising networks by their motif fingerprints.
+
+Motif distributions act as a structural fingerprint: communication
+networks are pair/star heavy, trust/transaction networks grow
+triangles, and bipartite rating networks cannot form triangles at all.
+This example counts motifs on several dataset twins, normalises each
+6×6 grid into a 36-dimensional fingerprint, and prints the pairwise
+cosine similarities — the bipartite datasets cluster away from the
+social ones, reproducing the qualitative story of the paper's Fig. 10.
+
+Run:  python examples/network_fingerprints.py [--scale 0.3]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import MotifCategory, count_motifs, load_dataset
+
+DATASETS = (
+    "collegemsg",      # messaging: heavy pair ping-pong
+    "sms_a",           # texting: even heavier pair bursts
+    "bitcoinotc",      # trust ratings: triangles present
+    "superuser",       # Q&A: mixed
+    "rec_movielens",   # bipartite ratings: zero triangles
+    "ia_online_ads",   # bipartite clicks: zero triangles
+)
+
+DELTA = 600
+
+
+def fingerprint(name: str, scale: float) -> np.ndarray:
+    graph = load_dataset(name, scale)
+    counts = count_motifs(graph, DELTA)
+    vector = counts.grid.astype(float).ravel()
+    norm = np.linalg.norm(vector)
+    share = {
+        category: counts.category_total(category) / max(counts.total(), 1)
+        for category in MotifCategory
+    }
+    print(
+        f"  {name:16s} edges={graph.num_edges:>7,} total motifs={counts.total():>11,} "
+        f"stars={share[MotifCategory.STAR]:5.1%} pairs={share[MotifCategory.PAIR]:5.1%} "
+        f"triangles={share[MotifCategory.TRIANGLE]:5.1%}"
+    )
+    return vector / norm if norm else vector
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.3)
+    args = parser.parse_args()
+
+    print(f"motif fingerprints (δ = {DELTA}s, scale = {args.scale}):")
+    vectors = {name: fingerprint(name, args.scale) for name in DATASETS}
+
+    print("\npairwise cosine similarity:")
+    header = "                 " + "".join(f"{n[:12]:>13}" for n in DATASETS)
+    print(header)
+    for a in DATASETS:
+        row = "".join(f"{float(vectors[a] @ vectors[b]):13.3f}" for b in DATASETS)
+        print(f"  {a:15s}{row}")
+
+    bipartite = [n for n in DATASETS if n in ("rec_movielens", "ia_online_ads")]
+    social = [n for n in DATASETS if n not in bipartite]
+    within = np.mean([vectors[a] @ vectors[b] for a in bipartite for b in bipartite if a != b])
+    across = np.mean([vectors[a] @ vectors[b] for a in bipartite for b in social])
+    print(f"\nmean similarity within bipartite pair: {within:.3f}")
+    print(f"mean similarity bipartite vs social:   {across:.3f}")
+    print("bipartite datasets cluster together:", bool(within > across))
+
+
+if __name__ == "__main__":
+    main()

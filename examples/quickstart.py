@@ -1,0 +1,52 @@
+"""Quickstart: count δ-temporal motifs in a small temporal graph.
+
+Reproduces the paper's running example (Fig. 1): five nodes, twelve
+timestamped edges, δ = 10 seconds — then shows the named instances
+from the paper's text and the full 6×6 count grid.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import TemporalGraph, count_motifs
+
+# The temporal graph of the paper's Fig. 1.  Edges are (src, dst, t);
+# node labels can be any hashable value.
+EDGES = [
+    ("a", "c", 4), ("a", "c", 8), ("d", "a", 9), ("a", "b", 11), ("a", "c", 15),
+    ("e", "d", 1), ("e", "c", 6), ("d", "c", 10), ("d", "e", 14), ("c", "d", 17),
+    ("e", "d", 18), ("d", "e", 21),
+]
+
+
+def main() -> None:
+    graph = TemporalGraph(EDGES)
+    print(f"graph: {graph}")
+
+    counts = count_motifs(graph, delta=10)
+    print(counts.to_text("All 2-/3-node, 3-edge motifs with δ = 10s"))
+    print()
+
+    # The instances the paper names explicitly:
+    print("paper walkthrough instances:")
+    print(f"  M63 ⟨(a,c,4), (a,c,8), (d,a,9)⟩  -> count {counts['M63']}")
+    print(f"  M46 ⟨(e,c,6), (d,c,10), (d,e,14)⟩ -> count {counts['M46']}")
+    print(f"  M65 ⟨(d,e,14), (e,d,18), (d,e,21)⟩-> count {counts['M65']}")
+    print()
+
+    # Category totals (the three colour groups of the paper's Fig. 2).
+    from repro import MotifCategory
+
+    for category in MotifCategory:
+        print(f"  {category.value:9s} motifs: {counts.category_total(category)}")
+
+    # Exactness: the brute-force oracle agrees cell for cell.
+    brute = count_motifs(graph, delta=10, algorithm="bruteforce")
+    print(f"\nFAST == brute force: {counts == brute}")
+
+    # Parallel counting (HARE) returns identical counts.
+    parallel = count_motifs(graph, delta=10, workers=2)
+    print(f"FAST == HARE(2 workers): {counts == parallel}")
+
+
+if __name__ == "__main__":
+    main()

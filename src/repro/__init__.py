@@ -1,0 +1,68 @@
+"""HARE/FAST: scalable exact temporal motif counting.
+
+A faithful, pure-Python reproduction of *"Scalable Motif Counting for
+Large-scale Temporal Graphs"* (Gao, Cheng, Yu, Cao, Huang, Dong — ICDE
+2022): the FAST-Star and FAST-Tri exact counting algorithms, the HARE
+hierarchical parallel framework, and the full set of baselines and
+experiments from the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import TemporalGraph, count_motifs
+>>> g = TemporalGraph([(0, 1, 4), (0, 1, 8), (2, 0, 9)])
+>>> counts = count_motifs(g, delta=10)
+>>> counts["M63"]
+1
+"""
+
+from repro.core.api import count_motifs
+from repro.core.counters import MotifCounts, PairCounter, StarCounter, TriangleCounter
+from repro.core.motifs import ALL_MOTIFS, GRID, MOTIFS_BY_NAME, Motif, MotifCategory
+from repro.core.patterns import HIGHER_ORDER_PATTERNS, count_higher_order
+from repro.core.serialize import load_counts, save_counts
+from repro.analysis import motif_significance, time_shuffled_null
+from repro.graph.temporal_graph import IN, OUT, TemporalEdge, TemporalGraph
+from repro.graph.edgelist import load_edgelist, save_edgelist
+from repro.graph.datasets import dataset_names, load_dataset
+from repro.errors import (
+    DatasetError,
+    GraphFormatError,
+    ParallelExecutionError,
+    ReproError,
+    ValidationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "count_motifs",
+    "count_higher_order",
+    "HIGHER_ORDER_PATTERNS",
+    "motif_significance",
+    "time_shuffled_null",
+    "save_counts",
+    "load_counts",
+    "MotifCounts",
+    "PairCounter",
+    "StarCounter",
+    "TriangleCounter",
+    "ALL_MOTIFS",
+    "GRID",
+    "MOTIFS_BY_NAME",
+    "Motif",
+    "MotifCategory",
+    "IN",
+    "OUT",
+    "TemporalEdge",
+    "TemporalGraph",
+    "load_edgelist",
+    "save_edgelist",
+    "dataset_names",
+    "load_dataset",
+    "DatasetError",
+    "GraphFormatError",
+    "ParallelExecutionError",
+    "ReproError",
+    "ValidationError",
+    "__version__",
+]

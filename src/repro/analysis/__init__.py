@@ -1,0 +1,18 @@
+"""Analysis layer: motif significance against temporal null models.
+
+The motif literature (Milo et al., Kovanen et al.) interprets raw
+counts against a randomised *null model*; for temporal motifs the
+standard null shuffles timestamps while keeping the static structure,
+destroying temporal correlation but nothing else.  This subpackage
+provides that null model and per-motif z-scores — the machinery behind
+"communication motifs characterise networks" applications the paper's
+introduction cites.
+"""
+
+from repro.analysis.significance import (
+    MotifSignificance,
+    motif_significance,
+    time_shuffled_null,
+)
+
+__all__ = ["MotifSignificance", "motif_significance", "time_shuffled_null"]

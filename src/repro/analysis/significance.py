@@ -1,0 +1,99 @@
+"""Motif significance via timestamp-shuffled null models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.api import count_motifs
+from repro.core.motifs import ALL_MOTIFS
+from repro.errors import ValidationError
+from repro.graph.temporal_graph import TemporalGraph
+
+
+def time_shuffled_null(graph: TemporalGraph, seed: int = 0) -> TemporalGraph:
+    """Shuffle timestamps across edges (static structure preserved).
+
+    The classic temporal null model: the multiset of timestamps and
+    the static multigraph stay identical, but which edge happens when
+    is randomised — so any motif surplus over the null measures real
+    temporal correlation, not just topology.
+    """
+    rng = np.random.default_rng(seed)
+    labelled = list(graph.edges())
+    times = graph.timestamps.tolist()
+    perm = rng.permutation(len(times))
+    return TemporalGraph(
+        (edge.u, edge.v, times[int(perm[k])]) for k, edge in enumerate(labelled)
+    )
+
+
+@dataclass
+class MotifSignificance:
+    """Observed counts vs a null-model ensemble."""
+
+    observed: Dict[str, int]
+    null_mean: Dict[str, float]
+    null_std: Dict[str, float]
+    num_null: int
+
+    def zscore(self, name: str) -> float:
+        """Z-score of one motif; 0 when the null never varies."""
+        std = self.null_std[name]
+        if std == 0:
+            return 0.0
+        return (self.observed[name] - self.null_mean[name]) / std
+
+    def zscores(self) -> Dict[str, float]:
+        return {m.name: self.zscore(m.name) for m in ALL_MOTIFS}
+
+    def top(self, k: int = 5) -> List[str]:
+        """Motif names with the largest absolute z-scores."""
+        scored = sorted(
+            self.zscores().items(), key=lambda item: abs(item[1]), reverse=True
+        )
+        return [name for name, _ in scored[:k]]
+
+    def significance_profile(self) -> Dict[str, float]:
+        """The normalised z-vector of Milo et al. (unit L2 norm)."""
+        z = self.zscores()
+        norm = float(np.linalg.norm(list(z.values())))
+        if norm == 0:
+            return z
+        return {name: value / norm for name, value in z.items()}
+
+
+def motif_significance(
+    graph: TemporalGraph,
+    delta: float,
+    num_null: int = 10,
+    seed: int = 0,
+    workers: int = 1,
+    algorithm: str = "fast",
+) -> MotifSignificance:
+    """Compare observed motif counts against timestamp-shuffled nulls.
+
+    Runs ``count_motifs`` once on the input and once per null draw.
+    Cost is ``(num_null + 1)`` FAST passes, so it inherits FAST's
+    linear scaling — this is exactly the use case that needs a fast
+    exact counter.
+    """
+    if num_null < 1:
+        raise ValidationError(f"num_null must be >= 1, got {num_null}")
+    observed = count_motifs(graph, delta, workers=workers, algorithm=algorithm)
+    null_grids = []
+    for draw in range(num_null):
+        null_graph = time_shuffled_null(graph, seed=seed + draw)
+        null_counts = count_motifs(null_graph, delta, workers=workers, algorithm=algorithm)
+        null_grids.append(null_counts.grid.astype(float))
+    stacked = np.stack(null_grids)
+    mean = stacked.mean(axis=0)
+    std = stacked.std(axis=0)
+    return MotifSignificance(
+        observed=observed.per_motif(),
+        null_mean={m.name: float(mean[m.row - 1, m.col - 1]) for m in ALL_MOTIFS},
+        null_std={m.name: float(std[m.row - 1, m.col - 1]) for m in ALL_MOTIFS},
+        num_null=num_null,
+    )

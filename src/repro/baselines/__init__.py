@@ -1,0 +1,28 @@
+"""Baseline algorithms the paper compares against.
+
+* :mod:`repro.baselines.exact_ex` — **EX** (Paranjape et al., WSDM'17):
+  exact counting of all 36 motifs via sliding-window sequence counters.
+* :mod:`repro.baselines.backtracking` — **BT** (Mackey et al.):
+  chronological backtracking temporal subgraph isomorphism.
+* :mod:`repro.baselines.twoscent` — **2SCENT** (Kumar & Calders):
+  temporal cycle enumeration (motif M26).
+* :mod:`repro.baselines.sampling_bts` — **BTS** (Liu et al.):
+  interval sampling with BT as the exact subroutine.
+* :mod:`repro.baselines.sampling_ews` — **EWS** (Wang et al.):
+  edge/wedge sampling estimator.
+"""
+
+from repro.baselines.exact_ex import ex_count
+from repro.baselines.backtracking import bt_count, bt_count_pairs
+from repro.baselines.twoscent import twoscent_count_cycles
+from repro.baselines.sampling_bts import bts_count_pairs
+from repro.baselines.sampling_ews import ews_count
+
+__all__ = [
+    "ex_count",
+    "bt_count",
+    "bt_count_pairs",
+    "twoscent_count_cycles",
+    "bts_count_pairs",
+    "ews_count",
+]

@@ -1,0 +1,81 @@
+"""Paranjape-style sliding-window sequence counter.
+
+The primitive underlying the EX baseline: given a time-ordered event
+stream where each event carries a small *class* label, count every
+ordered 3-subsequence whose span fits in δ, bucketed by the class
+triple.  The counter is incremental — O(C) work per event for the pair
+table plus O(C²) for the triple table — and entirely independent of δ,
+which is exactly the property that makes EX flat in the paper's
+Fig. 12(a).
+
+The ``count_from`` threshold implements EX's time-slab parallelisation:
+a worker warms its window up on the δ-overlap *before* its slab but
+only accumulates triples whose last event falls inside the slab, so
+every instance is counted by exactly one worker.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+#: One event: (timestamp, canonical edge id, class label).
+Event = Tuple[float, int, int]
+
+
+def count_sequences(
+    events: Sequence[Event],
+    delta: float,
+    num_classes: int,
+    count_from: Optional[Tuple[float, int]] = None,
+) -> List[int]:
+    """Count δ-windowed ordered 3-subsequences by class triple.
+
+    Parameters
+    ----------
+    events:
+        Time-ordered events (ties broken by edge id, matching the
+        repository's canonical order).
+    delta:
+        Window span: a triple ``(x, y, z)`` is counted iff
+        ``z.t - x.t <= delta``.
+    num_classes:
+        Number of distinct class labels ``C``; labels must be in
+        ``[0, C)``.
+    count_from:
+        Optional ``(t, eid)`` threshold: only triples whose *last*
+        event is ``>=`` the threshold are accumulated (slab mode).
+
+    Returns
+    -------
+    list of int
+        Flat counts of length ``C³``, indexed ``(c1*C + c2)*C + c3``.
+    """
+    C = num_classes
+    count1 = [0] * C
+    count2 = [0] * (C * C)
+    count3 = [0] * (C * C * C)
+    start = 0
+    n = len(events)
+    for idx in range(n):
+        tj, eidj, cj = events[idx]
+        # Expire events that fall out of the δ window ending at tj.
+        while start < idx and events[start][0] + delta < tj:
+            cs = events[start][2]
+            count1[cs] -= 1
+            base = cs * C
+            for y in range(C):
+                count2[base + y] -= count1[y]
+            start += 1
+        # Triples ending at the current event.
+        if count_from is None or (tj, eidj) >= count_from:
+            for xy in range(C * C):
+                pairs = count2[xy]
+                if pairs:
+                    count3[xy * C + cj] += pairs
+        # Extend pairs and singles with the current event.
+        for x in range(C):
+            ones = count1[x]
+            if ones:
+                count2[x * C + cj] += ones
+        count1[cj] += 1
+    return count3

@@ -1,0 +1,13 @@
+"""Benchmark harness: regenerates every table and figure of the paper.
+
+Each experiment has a driver in :mod:`repro.bench.experiments` that
+returns a structured result with a ``render()`` text form — the same
+rows/series the paper reports.  ``python -m repro bench <name>`` runs
+one from the command line; the ``benchmarks/`` directory wraps them
+for ``pytest-benchmark``.
+"""
+
+from repro.bench.harness import BenchTimer, format_table, time_call
+from repro.bench import experiments
+
+__all__ = ["BenchTimer", "format_table", "time_call", "experiments"]

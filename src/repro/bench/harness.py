@@ -1,0 +1,74 @@
+"""Timing and table-formatting utilities for the benchmark drivers."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ValidationError
+
+
+def time_call(fn: Callable[[], object], repeat: int = 1) -> float:
+    """Best-of-``repeat`` wall-clock seconds for ``fn()``."""
+    if repeat < 1:
+        raise ValidationError(f"repeat must be >= 1, got {repeat}")
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@dataclass
+class BenchTimer:
+    """Collects named timings for one experiment run."""
+
+    repeat: int = 1
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    def measure(self, name: str, fn: Callable[[], object]) -> float:
+        elapsed = time_call(fn, self.repeat)
+        self.timings[name] = elapsed
+        return elapsed
+
+    def speedup(self, baseline: str, contender: str) -> float:
+        """``baseline time / contender time`` (paper convention)."""
+        denominator = self.timings[contender]
+        if denominator == 0:
+            return float("inf")
+        return self.timings[baseline] / denominator
+
+
+def format_seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value >= 100:
+        return f"{value:.0f}"
+    if value >= 1:
+        return f"{value:.2f}"
+    return f"{value:.4f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table (the harness's uniform output)."""
+    text_rows: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        text_rows.append(
+            [format_seconds(c) if isinstance(c, float) else str(c) for c in row]
+        )
+    widths = [max(len(r[i]) for r in text_rows) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.rjust(w) for h, w in zip(text_rows[0], widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in text_rows[1:]:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro`` / ``repro-motifs``.
+
+Subcommands
+-----------
+``count``
+    Count motifs on an edge-list file or a registry dataset.
+``generate``
+    Materialise a registry dataset to a SNAP-format edge list.
+``stats``
+    Print Table-II style statistics for a graph.
+``bench``
+    Run one of the paper's experiments (table2/table3/fig9..fig12b).
+``list-datasets``
+    Show the sixteen registry datasets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.bench.experiments import EXPERIMENTS
+from repro.core.api import ALGORITHMS, CATEGORIES, count_motifs
+from repro.errors import ReproError
+from repro.graph.datasets import REGISTRY, load_dataset
+from repro.graph.edgelist import load_edgelist, save_edgelist
+from repro.graph.statistics import compute_statistics
+from repro.graph.temporal_graph import TemporalGraph
+
+
+def _add_graph_source(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--input", help="SNAP-format edge list file (u v t per line)")
+    group.add_argument("--dataset", choices=sorted(REGISTRY), help="registry dataset name")
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="dataset scale factor (registry datasets only, default 1.0)",
+    )
+
+
+def _load_graph(args: argparse.Namespace) -> TemporalGraph:
+    if args.input:
+        return load_edgelist(args.input)
+    return load_dataset(args.dataset, args.scale)
+
+
+def _cmd_count(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    counts = count_motifs(
+        graph,
+        args.delta,
+        algorithm=args.algorithm,
+        categories=args.categories,
+        workers=args.workers,
+        thrd=args.thrd,
+        schedule=args.schedule,
+    )
+    if args.json:
+        payload = {
+            "algorithm": counts.algorithm,
+            "delta": args.delta,
+            "elapsed_seconds": counts.elapsed_seconds,
+            "total": counts.total(),
+            "counts": counts.per_motif(),
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(counts.to_text(
+            f"{counts.algorithm} δ={args.delta} "
+            f"total={counts.total():,} ({counts.elapsed_seconds:.2f}s)"
+        ))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset, args.scale)
+    save_edgelist(graph, args.out)
+    print(f"wrote {graph.num_edges} edges / {graph.num_nodes} nodes to {args.out}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    stats = compute_statistics(graph)
+    print(f"nodes:            {stats.num_nodes:,}")
+    print(f"temporal edges:   {stats.num_edges:,}")
+    print(f"time span:        {stats.time_span:,} ({stats.time_span_days:.1f} days)")
+    print(f"max degree:       {stats.max_degree:,}")
+    print(f"mean degree:      {stats.mean_degree:.2f}")
+    print(f"median degree:    {stats.median_degree:.1f}")
+    print(f"top-10 deg share: {stats.top10_degree_share:.1%}")
+    print(f"static pairs:     {stats.num_static_pairs:,}")
+    print(f"reciprocity:      {stats.reciprocity:.1%}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    driver = EXPERIMENTS[args.experiment]
+    scale = 0.25 if args.quick else args.scale
+    result = driver(scale=scale)
+    text = result.render()
+    print(text)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"\nwritten to {args.out}")
+    return 0
+
+
+def _cmd_list_datasets(_: argparse.Namespace) -> int:
+    for name, spec in REGISTRY.items():
+        print(
+            f"{name:16s} {spec.paper_name:16s} paper: {spec.paper_nodes:>10,} nodes "
+            f"{spec.paper_edges:>12,} edges | twin: {spec.gen_nodes:>7,} nodes "
+            f"{spec.gen_edges:>8,} edges | {spec.description}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-motifs",
+        description="HARE/FAST temporal motif counting (ICDE 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_count = sub.add_parser("count", help="count δ-temporal motifs")
+    _add_graph_source(p_count)
+    p_count.add_argument("--delta", type=float, required=True, help="time window δ")
+    p_count.add_argument("--algorithm", choices=ALGORITHMS, default="fast")
+    p_count.add_argument("--categories", choices=CATEGORIES, default="all")
+    p_count.add_argument("--workers", type=int, default=1)
+    p_count.add_argument("--thrd", type=float, default=None,
+                         help="HARE degree threshold (default: paper's top-20 rule)")
+    p_count.add_argument("--schedule", choices=("dynamic", "static"), default="dynamic")
+    p_count.add_argument("--json", action="store_true", help="emit JSON")
+    p_count.set_defaults(func=_cmd_count)
+
+    p_gen = sub.add_parser("generate", help="write a dataset twin to a file")
+    p_gen.add_argument("--dataset", choices=sorted(REGISTRY), required=True)
+    p_gen.add_argument("--scale", type=float, default=1.0)
+    p_gen.add_argument("--out", required=True)
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_stats = sub.add_parser("stats", help="print graph statistics")
+    _add_graph_source(p_stats)
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_bench = sub.add_parser("bench", help="run a paper experiment")
+    p_bench.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    p_bench.add_argument("--scale", type=float, default=1.0)
+    p_bench.add_argument("--quick", action="store_true", help="scale 0.25 shortcut")
+    p_bench.add_argument("--out", help="also write the rendered result to a file")
+    p_bench.set_defaults(func=_cmd_bench)
+
+    p_list = sub.add_parser("list-datasets", help="show the dataset registry")
+    p_list.set_defaults(func=_cmd_list_datasets)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""The paper's primary contribution: FAST counting algorithms.
+
+Public entry point: :func:`repro.core.api.count_motifs`, which runs
+FAST-Star and FAST-Tri and assembles the 6×6 motif-count grid of the
+paper's Fig. 2/Fig. 10.
+"""
+
+from repro.core.motifs import (
+    Motif,
+    MotifCategory,
+    ALL_MOTIFS,
+    GRID,
+    MOTIFS_BY_NAME,
+    classify_triple,
+    canonicalize,
+)
+from repro.core.counters import (
+    MotifCounts,
+    PairCounter,
+    StarCounter,
+    TriangleCounter,
+)
+from repro.core.fast_star import count_star_pair
+from repro.core.fast_tri import count_triangle
+from repro.core.api import count_motifs
+from repro.core.bruteforce import brute_force_counts
+
+__all__ = [
+    "Motif",
+    "MotifCategory",
+    "ALL_MOTIFS",
+    "GRID",
+    "MOTIFS_BY_NAME",
+    "classify_triple",
+    "canonicalize",
+    "MotifCounts",
+    "PairCounter",
+    "StarCounter",
+    "TriangleCounter",
+    "count_star_pair",
+    "count_triangle",
+    "count_motifs",
+    "brute_force_counts",
+]

@@ -1,0 +1,147 @@
+"""Unified counting entry point.
+
+:func:`count_motifs` is the one-call public API: it runs the requested
+algorithm (FAST by default), assembles the 6×6 grid, and records
+timing metadata.  Parallel execution routes through
+:mod:`repro.parallel.hare`; baseline algorithms route through
+:mod:`repro.baselines`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.core.counters import MotifCounts
+from repro.core.fast_star import count_star_pair
+from repro.core.fast_tri import count_triangle
+from repro.errors import ValidationError
+from repro.graph.temporal_graph import TemporalGraph
+
+#: Algorithms selectable through :func:`count_motifs`.
+ALGORITHMS = ("fast", "ex", "bruteforce")
+
+#: Motif-category selections.
+CATEGORIES = ("all", "star", "pair", "triangle", "star_pair")
+
+
+def count_motifs(
+    graph: TemporalGraph,
+    delta: float,
+    *,
+    algorithm: str = "fast",
+    categories: str = "all",
+    workers: int = 1,
+    thrd: Optional[int] = None,
+    schedule: str = "dynamic",
+) -> MotifCounts:
+    """Count 2- and 3-node, 3-edge δ-temporal motifs (Problem 1).
+
+    Parameters
+    ----------
+    graph:
+        Input temporal graph.
+    delta:
+        Time constraint δ, in the timestamps' unit.
+    algorithm:
+        ``"fast"`` (the paper's FAST-Star + FAST-Tri, default),
+        ``"ex"`` (the Paranjape et al. baseline), or ``"bruteforce"``
+        (reference enumeration; small graphs only).
+    categories:
+        Restrict counting to ``"star"``, ``"pair"``, ``"triangle"`` or
+        ``"star_pair"``; ``"all"`` (default) counts everything.  Cells
+        outside the selection are zero in the returned grid.
+    workers:
+        Degree of parallelism.  ``1`` runs serially in-process;
+        ``> 1`` runs the HARE hierarchical parallel framework (FAST)
+        or the time-slab parallel variant (EX).
+    thrd:
+        HARE's degree threshold for intra-node parallelism.  ``None``
+        uses the paper's default: the minimum degree among the top-20
+        highest-degree nodes.
+    schedule:
+        ``"dynamic"`` (default) or ``"static"`` task scheduling, the
+        OpenMP analogy of §IV-C.
+
+    Returns
+    -------
+    MotifCounts
+        Exact counts (for exact algorithms) with ``elapsed_seconds``
+        and algorithm metadata filled in.
+    """
+    if algorithm not in ALGORITHMS:
+        raise ValidationError(f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}")
+    if categories not in CATEGORIES:
+        raise ValidationError(f"unknown categories {categories!r}; choose from {CATEGORIES}")
+    if workers < 1:
+        raise ValidationError(f"workers must be >= 1, got {workers}")
+    if delta < 0:
+        raise ValidationError(f"delta must be non-negative, got {delta}")
+
+    start = time.perf_counter()
+    if algorithm == "bruteforce":
+        result = _bruteforce(graph, delta, categories)
+    elif algorithm == "ex":
+        result = _ex(graph, delta, categories, workers)
+    elif workers == 1:
+        result = _fast_serial(graph, delta, categories)
+    else:
+        from repro.parallel.hare import hare_count
+
+        result = hare_count(
+            graph,
+            delta,
+            workers=workers,
+            thrd=thrd,
+            schedule=schedule,
+            categories=categories,
+        )
+    result.elapsed_seconds = time.perf_counter() - start
+    result.delta = delta
+    return result
+
+
+def _fast_serial(graph: TemporalGraph, delta: float, categories: str) -> MotifCounts:
+    star = pair = triangle = None
+    if categories in ("all", "star", "pair", "star_pair"):
+        star, pair = count_star_pair(graph, delta)
+        if categories == "star":
+            pair = None
+        elif categories == "pair":
+            star = None
+    if categories in ("all", "triangle"):
+        triangle = count_triangle(graph, delta)
+    return MotifCounts.from_counters(star, pair, triangle, algorithm="fast")
+
+
+def _bruteforce(graph: TemporalGraph, delta: float, categories: str) -> MotifCounts:
+    from repro.core.bruteforce import brute_force_counts
+
+    result = brute_force_counts(graph, delta)
+    if categories != "all":
+        result = _mask_categories(result, categories)
+    return result
+
+
+def _ex(graph: TemporalGraph, delta: float, categories: str, workers: int) -> MotifCounts:
+    from repro.baselines.exact_ex import ex_count
+
+    return ex_count(graph, delta, categories=categories, workers=workers)
+
+
+def _mask_categories(counts: MotifCounts, categories: str) -> MotifCounts:
+    """Zero out grid cells that fall outside the selected categories."""
+    from repro.core.motifs import GRID, MotifCategory
+
+    wanted = {
+        "star": {MotifCategory.STAR},
+        "pair": {MotifCategory.PAIR},
+        "triangle": {MotifCategory.TRIANGLE},
+        "star_pair": {MotifCategory.STAR, MotifCategory.PAIR},
+        "all": {MotifCategory.STAR, MotifCategory.PAIR, MotifCategory.TRIANGLE},
+    }[categories]
+    grid = counts.grid.copy()
+    for motif in GRID.values():
+        if motif.category not in wanted:
+            grid[motif.row - 1, motif.col - 1] = 0
+    return MotifCounts(grid, algorithm=counts.algorithm, delta=counts.delta)

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch a single base class at API boundaries while still
+distinguishing failure modes where it matters.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument or input value failed validation.
+
+    Also derives from :class:`ValueError` so that generic callers using
+    ``except ValueError`` keep working.
+    """
+
+
+class GraphFormatError(ReproError, ValueError):
+    """An edge-list file or edge record could not be parsed."""
+
+
+class DatasetError(ReproError, KeyError):
+    """An unknown dataset name was requested from the registry."""
+
+
+class ParallelExecutionError(ReproError, RuntimeError):
+    """A parallel worker failed while counting motifs."""

@@ -1,0 +1,40 @@
+"""Temporal-graph substrate: data structures, IO, generators, datasets.
+
+This subpackage is the foundation every counting algorithm builds on.
+The central type is :class:`~repro.graph.temporal_graph.TemporalGraph`,
+which stores a multiset of directed timestamped edges and exposes the
+two access paths the paper's algorithms need:
+
+* the per-node, time-ordered edge sequence ``S_u`` of Table I, via
+  :meth:`~repro.graph.temporal_graph.TemporalGraph.node_sequence`, and
+* the per-pair timeline ``E(v, w)`` used by FAST-Tri, via
+  :meth:`~repro.graph.temporal_graph.TemporalGraph.pair_timeline`.
+"""
+
+from repro.graph.temporal_graph import (
+    IN,
+    OUT,
+    NodeSequence,
+    TemporalEdge,
+    TemporalGraph,
+)
+from repro.graph.edgelist import load_edgelist, save_edgelist
+from repro.graph.statistics import GraphStatistics, compute_statistics
+from repro.graph import generators
+from repro.graph.datasets import DatasetSpec, dataset_names, load_dataset
+
+__all__ = [
+    "IN",
+    "OUT",
+    "NodeSequence",
+    "TemporalEdge",
+    "TemporalGraph",
+    "load_edgelist",
+    "save_edgelist",
+    "GraphStatistics",
+    "compute_statistics",
+    "generators",
+    "DatasetSpec",
+    "dataset_names",
+    "load_dataset",
+]

@@ -1,0 +1,296 @@
+"""Synthetic temporal graph generators.
+
+The paper evaluates on sixteen real-world temporal networks.  Those
+datasets are not redistributable inside this offline reproduction, so
+:mod:`repro.graph.datasets` instantiates each of them from the
+generators in this module, matched on the *drivers* of algorithm cost.
+
+The main generator models a temporal network as a stream of
+**sessions** — short conversations in which a weight-sampled initiator
+exchanges several edges with a small set of peers.  This is what real
+communication/interaction data looks like from a motif counter's
+perspective: motifs are triples of edges that are close in time *and*
+on at most three nodes, and sessions are precisely the mechanism that
+co-locates edges in both dimensions.  The knobs:
+
+* ``skew`` — exponent of the power-law node-weight distribution;
+  controls degree imbalance (the Fig. 9 long tail that motivates
+  HARE's intra-node parallelism);
+* ``reciprocity`` — probability that a session edge reverses an
+  earlier session edge (drives 2-node pair motifs M65/M66);
+* ``repeat`` — probability that a session edge repeats an earlier one
+  (drives M55/M56 and star multi-edges);
+* ``triadic`` — probability that a session edge closes a wedge between
+  session participants (drives triangle motifs, 2SCENT's workload);
+* ``burstiness`` — compresses session duration, controlling how many
+  edges share a δ window (the ``d^δ`` of the complexity analysis);
+* ``session_length`` / ``session_duration`` — mean edges per session
+  and the session time scale in timestamp units;
+* ``bipartite_fraction`` — user→item datasets (MovieLens ratings, ad
+  clicks): initiators are sources, peers are items, reverse/wedge
+  moves are disabled, so triangles are structurally impossible.
+
+All generators take an integer ``seed`` and are fully deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.graph.temporal_graph import TemporalGraph
+
+
+def _validate_counts(num_nodes: int, num_edges: int) -> None:
+    if num_nodes < 2:
+        raise ValidationError(f"need at least 2 nodes, got {num_nodes}")
+    if num_edges < 0:
+        raise ValidationError(f"num_edges must be non-negative, got {num_edges}")
+
+
+def _node_weights(num_nodes: int, skew: float) -> np.ndarray:
+    """Zipf-like sampling weights ``(rank + 1) ** -skew``, normalised."""
+    ranks = np.arange(1, num_nodes + 1, dtype=np.float64)
+    weights = ranks ** (-skew)
+    return weights / weights.sum()
+
+
+class _WeightedPool:
+    """Cheap stream of weighted node samples (bulk-drawn, refilled)."""
+
+    def __init__(self, rng: np.random.Generator, population: int, weights: np.ndarray,
+                 offset: int = 0, block: int = 8192) -> None:
+        self._rng = rng
+        self._population = population
+        self._weights = weights
+        self._offset = offset
+        self._block = block
+        self._buffer: List[int] = []
+
+    def draw(self) -> int:
+        if not self._buffer:
+            self._buffer = list(
+                self._rng.choice(self._population, size=self._block, p=self._weights)
+                + self._offset
+            )
+        return self._buffer.pop()
+
+
+def powerlaw_temporal_graph(
+    num_nodes: int,
+    num_edges: int,
+    *,
+    span: float = 86_400.0 * 365,
+    skew: float = 1.0,
+    reciprocity: float = 0.15,
+    repeat: float = 0.1,
+    triadic: float = 0.1,
+    burstiness: float = 0.5,
+    bipartite_fraction: float = 0.0,
+    session_length: float = 6.0,
+    session_duration: float = 400.0,
+    seed: int = 0,
+) -> TemporalGraph:
+    """Generate a session-structured, skewed temporal graph.
+
+    Edges arrive in sessions.  Each session draws an initiator and a
+    couple of peers from the power-law weight distribution, a start
+    time uniform over ``[0, span]``, a duration exponential around
+    ``session_duration`` (shrunk by ``burstiness``), and a geometric
+    number of edges with mean ``session_length``.  Each edge either
+    repeats an earlier session edge, reverses one, closes a wedge
+    between session participants, or connects the initiator to a peer
+    — with probabilities ``repeat``, ``reciprocity``, ``triadic`` and
+    the remainder.
+    """
+    _validate_counts(num_nodes, num_edges)
+    for name, prob in (("reciprocity", reciprocity), ("repeat", repeat), ("triadic", triadic)):
+        if not 0.0 <= prob <= 1.0:
+            raise ValidationError(f"{name} must be in [0, 1], got {prob}")
+    if repeat + reciprocity + triadic > 1.0:
+        raise ValidationError("repeat + reciprocity + triadic must be <= 1")
+    if session_length < 1:
+        raise ValidationError(f"session_length must be >= 1, got {session_length}")
+    if session_duration <= 0:
+        raise ValidationError(f"session_duration must be positive, got {session_duration}")
+
+    rng = np.random.default_rng(seed)
+    bipartite = bipartite_fraction >= 1.0
+    if bipartite:
+        num_sources = max(1, int(num_nodes * 0.3))
+        initiators = _WeightedPool(rng, num_sources, _node_weights(num_sources, skew))
+        peer_count = max(1, num_nodes - num_sources)
+        peers = _WeightedPool(
+            rng, peer_count, _node_weights(peer_count, skew), offset=num_sources
+        )
+    else:
+        weights = _node_weights(num_nodes, skew)
+        initiators = _WeightedPool(rng, num_nodes, weights)
+        peers = _WeightedPool(rng, num_nodes, weights)
+
+    duration_scale = session_duration * (1.5 - burstiness)
+    p_repeat = repeat
+    p_recip = repeat + (0.0 if bipartite else reciprocity)
+    p_triad = p_recip + (0.0 if bipartite else triadic)
+
+    edges: List[Tuple[int, int, int]] = []
+    while len(edges) < num_edges:
+        remaining = num_edges - len(edges)
+        size = min(remaining, 1 + rng.geometric(1.0 / session_length))
+        duration = rng.exponential(duration_scale) + 1.0
+        start = rng.uniform(0.0, max(1.0, span - duration))
+        offsets = np.sort(rng.uniform(0.0, duration, size=size))
+
+        initiator = initiators.draw()
+        session_peers = [peers.draw() for _ in range(min(3, 1 + int(rng.integers(0, 3))))]
+        session_edges: List[Tuple[int, int]] = []
+        for k in range(size):
+            move = rng.random()
+            u = v = -1
+            if session_edges and move < p_repeat:
+                u, v = session_edges[int(rng.integers(0, len(session_edges)))]
+            elif session_edges and move < p_recip:
+                v, u = session_edges[int(rng.integers(0, len(session_edges)))]
+            elif len(session_edges) >= 2 and move < p_triad:
+                a1, b1 = session_edges[int(rng.integers(0, len(session_edges)))]
+                a2, b2 = session_edges[int(rng.integers(0, len(session_edges)))]
+                # Close a wedge between two session edges sharing a node.
+                if b1 == a2 and a1 != b2:
+                    u, v = b2, a1
+                elif a1 == a2 and b1 != b2:
+                    u, v = b1, b2
+                elif b1 == b2 and a1 != a2:
+                    u, v = a2, a1
+            if u < 0 or u == v:
+                peer = session_peers[int(rng.integers(0, len(session_peers)))]
+                if peer == initiator:
+                    peer = peers.draw()
+                    if peer == initiator:
+                        peer = (peer + 1) % num_nodes
+                if bipartite or rng.random() < 0.7:
+                    u, v = initiator, peer
+                else:
+                    u, v = peer, initiator
+            if u == v:
+                continue
+            edges.append((u, v, int(start + offsets[k])))
+            session_edges.append((u, v))
+
+    edges = edges[:num_edges]
+    return TemporalGraph(edges)
+
+
+def uniform_temporal_graph(
+    num_nodes: int,
+    num_edges: int,
+    *,
+    span: float = 1000.0,
+    seed: int = 0,
+) -> TemporalGraph:
+    """Erdős–Rényi-style temporal graph: uniform endpoints and times."""
+    _validate_counts(num_nodes, num_edges)
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, num_nodes, size=num_edges)
+    dst = rng.integers(0, num_nodes, size=num_edges)
+    collide = src == dst
+    dst[collide] = (dst[collide] + 1) % num_nodes
+    t = np.sort(rng.integers(0, int(span) + 1, size=num_edges))
+    return TemporalGraph.from_arrays(src.tolist(), dst.tolist(), t.tolist())
+
+
+def star_burst_graph(
+    num_leaves: int,
+    edges_per_leaf: int,
+    *,
+    gap: int = 10,
+    seed: int = 0,
+) -> TemporalGraph:
+    """A single hub exchanging bursts with many leaves.
+
+    Maximises star-motif density and degree skew: the hub's temporal
+    degree is ``num_leaves * edges_per_leaf`` while every leaf has
+    degree ``edges_per_leaf``.  This is the microbenchmark used to
+    exercise HARE's intra-node parallel mode.
+    """
+    if num_leaves < 2 or edges_per_leaf < 1:
+        raise ValidationError("need >= 2 leaves and >= 1 edge per leaf")
+    rng = np.random.default_rng(seed)
+    hub = 0
+    edges = []
+    t = 0
+    for _ in range(edges_per_leaf):
+        for leaf in range(1, num_leaves + 1):
+            if rng.random() < 0.5:
+                edges.append((hub, leaf, t))
+            else:
+                edges.append((leaf, hub, t))
+            t += int(rng.integers(1, gap + 1))
+    return TemporalGraph(edges)
+
+
+def pair_burst_graph(
+    num_pairs: int,
+    edges_per_pair: int,
+    *,
+    gap: int = 5,
+    seed: int = 0,
+) -> TemporalGraph:
+    """Disjoint node pairs exchanging rapid back-and-forth messages.
+
+    Maximises 2-node (pair) motif density — the BT / BTS-Pair workload.
+    """
+    if num_pairs < 1 or edges_per_pair < 1:
+        raise ValidationError("need >= 1 pair and >= 1 edge per pair")
+    rng = np.random.default_rng(seed)
+    edges = []
+    t = 0
+    for p in range(num_pairs):
+        a, b = 2 * p, 2 * p + 1
+        for _ in range(edges_per_pair):
+            if rng.random() < 0.5:
+                edges.append((a, b, t))
+            else:
+                edges.append((b, a, t))
+            t += int(rng.integers(1, gap + 1))
+    return TemporalGraph(edges)
+
+
+def triangle_rich_graph(
+    num_triangles: int,
+    *,
+    gap: int = 5,
+    cyclic_fraction: float = 0.5,
+    shared_nodes: Optional[int] = None,
+    seed: int = 0,
+) -> TemporalGraph:
+    """Many temporal triangles, a tunable share of them cyclic (M26).
+
+    ``cyclic_fraction`` controls how many triangles are oriented as
+    temporal cycles — the only motif 2SCENT counts.  ``shared_nodes``
+    draws triangle corners from a small shared pool (default: disjoint
+    corners per triangle) to create overlapping triangles.
+    """
+    if num_triangles < 1:
+        raise ValidationError("need >= 1 triangle")
+    if not 0.0 <= cyclic_fraction <= 1.0:
+        raise ValidationError(f"cyclic_fraction must be in [0, 1], got {cyclic_fraction}")
+    rng = np.random.default_rng(seed)
+    edges = []
+    t = 0
+    for k in range(num_triangles):
+        if shared_nodes:
+            a, b, c = rng.choice(shared_nodes, size=3, replace=False).tolist()
+        else:
+            a, b, c = 3 * k, 3 * k + 1, 3 * k + 2
+        t += int(rng.integers(1, gap + 1))
+        if rng.random() < cyclic_fraction:
+            # Temporal cycle a->b->c->a (motif M26).
+            triple = [(a, b, t), (b, c, t + 1), (c, a, t + 2)]
+        else:
+            # Acyclic "flow" orientation a->b, a->c, b->c (motif M15).
+            triple = [(a, b, t), (a, c, t + 1), (b, c, t + 2)]
+        edges.extend(triple)
+        t += 3
+    return TemporalGraph(edges)

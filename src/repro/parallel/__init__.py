@@ -1,0 +1,25 @@
+"""HARE — the hierarchical parallel framework (§IV-C of the paper).
+
+FAST's per-center decomposition has no data dependency across centers
+(inter-node parallelism) and none across a center's first-edge indices
+(intra-node parallelism).  HARE exploits both: nodes whose degree
+exceeds the threshold ``thrd`` are split into first-edge-range
+subtasks, everything else is batched whole, and batches are scheduled
+dynamically across a process pool (the OpenMP ``dynamic`` schedule
+analogue) with per-worker counters merged at the end (the ``reduction``
+analogue).
+"""
+
+from repro.parallel.scheduler import WorkBatch, build_batches, partition_static
+from repro.parallel.executor import run_batches
+from repro.parallel.hare import hare_count, hare_star_pair, hare_triangle
+
+__all__ = [
+    "WorkBatch",
+    "build_batches",
+    "partition_static",
+    "run_batches",
+    "hare_count",
+    "hare_star_pair",
+    "hare_triangle",
+]

@@ -1,0 +1,119 @@
+"""Process-pool execution of HARE work batches.
+
+Workers are forked so they share the parent's graph (and its pair
+index) copy-on-write — the Python analogue of OpenMP threads reading a
+shared graph.  Each worker accumulates into private counters and the
+parent merges them afterwards, which is exactly the OpenMP
+``reduction`` clause the paper relies on for intra-node parallelism
+("each thread keeps the backup of these variables, and then reduce and
+output the final result").
+
+If the platform cannot fork (or a single worker is requested) the
+batches run serially in-process, preserving results exactly.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Iterable, List, Optional, Tuple
+
+from repro.core.counters import PairCounter, StarCounter, TriangleCounter
+from repro.core.fast_star import count_star_pair_tasks
+from repro.core.fast_tri import count_triangle_tasks
+from repro.errors import ParallelExecutionError, ValidationError
+from repro.graph.temporal_graph import TemporalGraph
+from repro.parallel.scheduler import WorkBatch
+
+#: What a worker returns: raw counter cell lists (cheap to pickle).
+_WorkerResult = Tuple[Optional[List[int]], Optional[List[int]], Optional[List[int]]]
+
+# Worker globals, inherited through fork.
+_GRAPH: Optional[TemporalGraph] = None
+_DELTA: float = 0.0
+_DO_STAR_PAIR: bool = True
+_DO_TRIANGLE: bool = True
+
+
+def _run_batch(batch: WorkBatch) -> _WorkerResult:
+    assert _GRAPH is not None
+    star_data = pair_data = tri_data = None
+    if _DO_STAR_PAIR:
+        star, pair = count_star_pair_tasks(_GRAPH, _DELTA, batch.tasks)
+        star_data, pair_data = star.data, pair.data
+    if _DO_TRIANGLE:
+        tri = count_triangle_tasks(_GRAPH, _DELTA, batch.tasks)
+        tri_data = tri.data
+    return (star_data, pair_data, tri_data)
+
+
+def _fork_context() -> Optional[mp.context.BaseContext]:
+    try:
+        return mp.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return None
+
+
+def run_batches(
+    graph: TemporalGraph,
+    delta: float,
+    batches: List[WorkBatch],
+    workers: int,
+    schedule: str = "dynamic",
+    star_pair: bool = True,
+    triangle: bool = True,
+) -> Tuple[Optional[StarCounter], Optional[PairCounter], Optional[TriangleCounter]]:
+    """Execute work batches and reduce the per-worker counters.
+
+    ``schedule`` is ``"dynamic"`` (workers pull batches as they
+    finish) or ``"static"`` (batches must already be pre-assigned via
+    :func:`~repro.parallel.scheduler.partition_static`; they are
+    mapped one-to-one onto workers).
+    """
+    if schedule not in ("dynamic", "static"):
+        raise ValidationError(f"schedule must be 'dynamic' or 'static', got {schedule!r}")
+    if workers < 1:
+        raise ValidationError(f"workers must be >= 1, got {workers}")
+
+    global _GRAPH, _DELTA, _DO_STAR_PAIR, _DO_TRIANGLE
+    if triangle:
+        graph.ensure_pair_index()
+
+    star = StarCounter() if star_pair else None
+    pair = PairCounter() if star_pair else None
+    tri = TriangleCounter(multiplicity=3) if triangle else None
+
+    def reduce_result(result: _WorkerResult) -> None:
+        star_data, pair_data, tri_data = result
+        if star is not None and star_data is not None:
+            star.merge(StarCounter(star_data))
+        if pair is not None and pair_data is not None:
+            pair.merge(PairCounter(pair_data))
+        if tri is not None and tri_data is not None:
+            tri.merge(TriangleCounter(tri_data))
+
+    ctx = _fork_context()
+    _GRAPH = graph
+    _DELTA = delta
+    _DO_STAR_PAIR = star_pair
+    _DO_TRIANGLE = triangle
+    try:
+        if workers == 1 or ctx is None or not batches:
+            for batch in batches:
+                reduce_result(_run_batch(batch))
+        else:
+            with ctx.Pool(processes=workers) as pool:
+                if schedule == "dynamic":
+                    results: Iterable[_WorkerResult] = pool.imap_unordered(
+                        _run_batch, batches, chunksize=1
+                    )
+                else:
+                    results = pool.map(_run_batch, batches)
+                for result in results:
+                    reduce_result(result)
+    except ParallelExecutionError:
+        raise
+    except Exception as exc:  # pragma: no cover - worker crash path
+        raise ParallelExecutionError(f"HARE worker failed: {exc}") from exc
+    finally:
+        _GRAPH = None
+    return star, pair, tri

@@ -1,0 +1,103 @@
+"""HARE: the hierarchical parallel counting entry points.
+
+``hare_count`` is the parallel equivalent of
+:func:`repro.core.api.count_motifs` with ``algorithm="fast"``: same
+exact results (tested), produced by the two-level decomposition of
+§IV-C.  ``hare_star_pair`` / ``hare_triangle`` expose the individual
+passes for the paper's per-category benchmarks (HARE-Pair in Fig. 11).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.counters import MotifCounts, PairCounter, StarCounter, TriangleCounter
+from repro.errors import ValidationError
+from repro.graph.temporal_graph import TemporalGraph
+from repro.parallel.executor import run_batches
+from repro.parallel.scheduler import build_batches, partition_static
+
+
+def _prepare_batches(
+    graph: TemporalGraph,
+    workers: int,
+    thrd: Optional[float],
+    schedule: str,
+    split_factor: int,
+):
+    batches = build_batches(graph, workers, thrd=thrd, split_factor=split_factor)
+    if schedule == "static":
+        batches = partition_static(batches, workers)
+    return batches
+
+
+def hare_count(
+    graph: TemporalGraph,
+    delta: float,
+    *,
+    workers: int = 2,
+    thrd: Optional[float] = None,
+    schedule: str = "dynamic",
+    categories: str = "all",
+    split_factor: int = 4,
+) -> MotifCounts:
+    """Count all motifs with the HARE parallel framework.
+
+    Parameters mirror :func:`repro.core.api.count_motifs`; see
+    :func:`repro.parallel.scheduler.build_batches` for ``thrd`` and
+    ``split_factor`` semantics.  Results are bit-identical to the
+    serial FAST pass.
+    """
+    if delta < 0:
+        raise ValidationError(f"delta must be non-negative, got {delta}")
+    star_pair = categories in ("all", "star", "pair", "star_pair")
+    triangle = categories in ("all", "triangle")
+    batches = _prepare_batches(graph, workers, thrd, schedule, split_factor)
+    star, pair, tri = run_batches(
+        graph, delta, batches, workers, schedule,
+        star_pair=star_pair, triangle=triangle,
+    )
+    if categories == "star":
+        pair = None
+    elif categories == "pair":
+        star = None
+    return MotifCounts.from_counters(
+        star, pair, tri, algorithm=f"hare[{workers}]", delta=delta,
+        meta={"workers": workers, "schedule": schedule},
+    )
+
+
+def hare_star_pair(
+    graph: TemporalGraph,
+    delta: float,
+    *,
+    workers: int = 2,
+    thrd: Optional[float] = None,
+    schedule: str = "dynamic",
+    split_factor: int = 4,
+) -> Tuple[StarCounter, PairCounter]:
+    """Parallel FAST-Star pass (the paper's HARE-Pair workload)."""
+    batches = _prepare_batches(graph, workers, thrd, schedule, split_factor)
+    star, pair, _ = run_batches(
+        graph, delta, batches, workers, schedule, star_pair=True, triangle=False
+    )
+    assert star is not None and pair is not None
+    return star, pair
+
+
+def hare_triangle(
+    graph: TemporalGraph,
+    delta: float,
+    *,
+    workers: int = 2,
+    thrd: Optional[float] = None,
+    schedule: str = "dynamic",
+    split_factor: int = 4,
+) -> TriangleCounter:
+    """Parallel FAST-Tri pass."""
+    batches = _prepare_batches(graph, workers, thrd, schedule, split_factor)
+    _, _, tri = run_batches(
+        graph, delta, batches, workers, schedule, star_pair=False, triangle=True
+    )
+    assert tri is not None
+    return tri

@@ -1,0 +1,144 @@
+"""Task construction and scheduling for HARE.
+
+The unit of work is a *task* ``(node, i_lo, i_hi)``: run the FAST scan
+for one center with first-edge indices in ``[i_lo, i_hi)`` (``None``
+means "to the end").  Tasks are grouped into *batches*, the unit of
+dispatch to worker processes — batching amortises IPC for the long
+tail of low-degree nodes, while high-degree nodes are split so no
+single worker inherits the whole head of the degree distribution
+(the Fig. 9 imbalance this framework exists to fix).
+
+Scheduling modes mirror OpenMP's:
+
+* **dynamic** — workers pull the next batch as they finish (batches
+  are ordered heaviest-first so stragglers start early);
+* **static** — batches are pre-assigned round-robin, one mega-batch
+  per worker, with no runtime balancing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import ValidationError
+from repro.graph.statistics import default_degree_threshold
+from repro.graph.temporal_graph import TemporalGraph
+
+#: (node, first-edge range lo, hi) — ``hi=None`` means the sequence end.
+Task = Tuple[int, int, Optional[int]]
+
+
+@dataclass
+class WorkBatch:
+    """A group of tasks dispatched to one worker call."""
+
+    tasks: List[Task] = field(default_factory=list)
+    #: rough cost estimate used for heaviest-first ordering
+    weight: int = 0
+
+    def add(self, task: Task, weight: int) -> None:
+        self.tasks.append(task)
+        self.weight += weight
+
+
+def build_batches(
+    graph: TemporalGraph,
+    workers: int,
+    thrd: Optional[float] = None,
+    split_factor: int = 4,
+    light_batches_per_worker: int = 8,
+) -> List[WorkBatch]:
+    """Build HARE's hierarchical work decomposition.
+
+    Parameters
+    ----------
+    workers:
+        Worker count the decomposition should feed.
+    thrd:
+        Degree threshold: nodes with temporal degree strictly greater
+        are split into intra-node subtasks.  ``None`` applies the
+        paper's default — the minimum degree among the top-20 nodes.
+        ``float("inf")`` disables intra-node parallelism entirely (the
+        "without thrd" configuration of Fig. 12(b)).
+    split_factor:
+        Heavy nodes are split into ``workers * split_factor``
+        first-edge ranges.
+    light_batches_per_worker:
+        Light nodes are grouped into about ``workers *
+        light_batches_per_worker`` batches of roughly equal total
+        degree.
+    """
+    if workers < 1:
+        raise ValidationError(f"workers must be >= 1, got {workers}")
+    if split_factor < 1:
+        raise ValidationError(f"split_factor must be >= 1, got {split_factor}")
+    if thrd is None:
+        thrd = default_degree_threshold(graph, 20)
+
+    heavy: List[int] = []
+    light: List[Tuple[int, int]] = []
+    total_light = 0
+    for node in range(graph.num_nodes):
+        degree = graph.degree(node)
+        if degree < 2:
+            # A degree-1 center can host nothing: stars/pairs need three
+            # incident edges and FAST-Tri needs the (ei, ej) pair.  A
+            # degree-2 center still matters for triangles — the third
+            # edge lives on the far pair, not on the center.
+            continue
+        if degree > thrd:
+            heavy.append(node)
+        else:
+            light.append((node, degree))
+            total_light += degree
+
+    batches: List[WorkBatch] = []
+
+    # Intra-node splitting of heavy centers.
+    pieces = max(2, workers * split_factor)
+    for node in heavy:
+        degree = graph.degree(node)
+        step = max(1, -(-degree // pieces))  # ceil division
+        lo = 0
+        while lo < degree:
+            hi: Optional[int] = lo + step
+            assert hi is not None
+            batch = WorkBatch()
+            batch.add((node, lo, None if hi >= degree else hi), min(step, degree - lo))
+            batches.append(batch)
+            lo = hi
+
+    # Light nodes grouped by total degree.
+    if light:
+        target = max(1, total_light // max(1, workers * light_batches_per_worker))
+        current = WorkBatch()
+        for node, degree in light:
+            current.add((node, 0, None), degree)
+            if current.weight >= target:
+                batches.append(current)
+                current = WorkBatch()
+        if current.tasks:
+            batches.append(current)
+
+    # Heaviest-first so dynamic scheduling starts stragglers early.
+    batches.sort(key=lambda b: b.weight, reverse=True)
+    return batches
+
+
+def partition_static(batches: List[WorkBatch], workers: int) -> List[WorkBatch]:
+    """Pre-assign batches round-robin into one mega-batch per worker.
+
+    This is the OpenMP ``static`` schedule: no runtime balancing, so a
+    worker stuck with the degree-distribution head finishes last
+    (the effect Fig. 12(b) quantifies).
+    """
+    if workers < 1:
+        raise ValidationError(f"workers must be >= 1, got {workers}")
+    merged = [WorkBatch() for _ in range(workers)]
+    for idx, batch in enumerate(batches):
+        target = merged[idx % workers]
+        for task in batch.tasks:
+            target.add(task, 0)
+        target.weight += batch.weight
+    return [b for b in merged if b.tasks]

@@ -1,0 +1,111 @@
+"""Tests for the BT backtracking matcher."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.backtracking import (
+    bt_count,
+    bt_count_pairs,
+    count_pattern,
+    match_instances,
+)
+from repro.core.bruteforce import brute_force_counts
+from repro.core.motifs import MOTIFS_BY_NAME, PAIR_MOTIFS
+from repro.errors import ValidationError
+from repro.graph.temporal_graph import TemporalGraph
+from tests.core.test_properties import deltas, temporal_graphs
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=temporal_graphs(max_edges=18), delta=deltas)
+def test_bt_equals_bruteforce(graph, delta):
+    assert bt_count(graph, delta) == brute_force_counts(graph, delta)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=temporal_graphs(), delta=deltas)
+def test_bt_pairs_matches_pair_cells(graph, delta):
+    bt = bt_count_pairs(graph, delta)
+    brute = brute_force_counts(graph, delta)
+    for motif in PAIR_MOTIFS:
+        assert bt[motif.name] == brute[motif.name]
+
+
+class TestMatching:
+    def test_cycle_instance_edge_ids(self, triangle_graph):
+        pattern = MOTIFS_BY_NAME["M26"].canonical
+        assert list(match_instances(triangle_graph, 10, pattern)) == [(0, 1, 2)]
+
+    def test_no_match_outside_delta(self, triangle_graph):
+        pattern = MOTIFS_BY_NAME["M26"].canonical
+        assert list(match_instances(triangle_graph, 1, pattern)) == []
+
+    def test_injectivity_enforced(self):
+        # pattern needs 3 distinct nodes; graph has a pair plus spoke
+        g = TemporalGraph([(0, 1, 1), (1, 0, 2), (0, 1, 3)])
+        assert count_pattern(g, 10, MOTIFS_BY_NAME["M26"].canonical) == 0
+
+    def test_instances_in_pattern_order(self, paper_graph):
+        pattern = MOTIFS_BY_NAME["M63"].canonical  # <12,12,31>
+        matches = list(match_instances(paper_graph, 10, pattern))
+        assert len(matches) == 1
+        eids = matches[0]
+        assert list(eids) == sorted(eids)
+
+    def test_first_range_restriction(self, paper_graph):
+        pattern = MOTIFS_BY_NAME["M63"].canonical
+        full = list(match_instances(paper_graph, 10, pattern))
+        first_eid = full[0][0]
+        inside = list(
+            match_instances(paper_graph, 10, pattern, first_range=(first_eid, first_eid + 1))
+        )
+        outside = list(
+            match_instances(paper_graph, 10, pattern, first_range=(first_eid + 1, 10**6))
+        )
+        assert inside == full
+        assert outside == []
+
+    def test_t_cap_excludes_instances(self, triangle_graph):
+        pattern = MOTIFS_BY_NAME["M26"].canonical
+        # cap below the closing edge's timestamp (t=3)
+        assert list(match_instances(triangle_graph, 10, pattern, t_cap=3)) == []
+        assert list(match_instances(triangle_graph, 10, pattern, t_cap=3.5)) != []
+
+
+class TestGenericPatterns:
+    def test_two_edge_pattern(self):
+        g = TemporalGraph([(0, 1, 1), (1, 0, 2), (0, 1, 5)])
+        # reciprocated pairs: (e1,e2) and (e2,e3) — the pattern is
+        # direction-relative, so (1,0) followed by (0,1) matches too
+        assert count_pattern(g, 3, ((1, 2), (2, 1))) == 2
+        assert count_pattern(g, 0, ((1, 2), (2, 1))) == 0
+
+    def test_four_edge_pattern(self):
+        g = TemporalGraph([(0, 1, 1), (1, 0, 2), (0, 1, 3), (1, 0, 4)])
+        assert count_pattern(g, 10, ((1, 2), (2, 1), (1, 2), (2, 1))) == 1
+
+    def test_four_node_star_pattern(self):
+        g = TemporalGraph([(0, 1, 1), (0, 2, 2), (0, 3, 3)])
+        pattern = ((1, 2), (1, 3), (1, 4))  # 4-node out-star
+        assert count_pattern(g, 10, pattern) == 1
+
+    def test_self_loop_pattern_rejected(self):
+        with pytest.raises(ValidationError):
+            count_pattern(TemporalGraph([]), 10, ((1, 1), (1, 2), (2, 1)))
+
+    def test_disconnected_pattern_rejected(self):
+        with pytest.raises(ValidationError):
+            count_pattern(TemporalGraph([]), 10, ((1, 2), (3, 4), (2, 3)))
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ValidationError):
+            count_pattern(TemporalGraph([]), -1, ((1, 2), (2, 1)))
+
+
+class TestCountsMetadata:
+    def test_algorithm_label(self, paper_graph):
+        assert bt_count_pairs(paper_graph, 10).algorithm == "bt"
+
+    def test_pair_only_grid_is_masked(self, paper_graph):
+        counts = bt_count_pairs(paper_graph, 10)
+        assert counts["M11"] == 0  # star cell untouched

@@ -1,0 +1,86 @@
+"""Tests for the 2SCENT temporal cycle enumerator."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.twoscent import enumerate_cycles, twoscent_count_cycles
+from repro.core.bruteforce import brute_force_counts
+from repro.errors import ValidationError
+from repro.graph.temporal_graph import TemporalGraph
+from tests.core.test_properties import deltas, temporal_graphs
+
+
+@settings(max_examples=80, deadline=None)
+@given(graph=temporal_graphs(), delta=deltas)
+def test_length3_cycles_equal_m26(graph, delta):
+    assert twoscent_count_cycles(graph, delta) == brute_force_counts(graph, delta)["M26"]
+
+
+@settings(max_examples=50, deadline=None)
+@given(graph=temporal_graphs(), delta=deltas)
+def test_all_lengths_mode_agrees_on_m26(graph, delta):
+    assert twoscent_count_cycles(graph, delta, enumerate_all_lengths=True) == \
+        brute_force_counts(graph, delta)["M26"]
+
+
+class TestEnumeration:
+    def test_single_cycle(self, triangle_graph):
+        cycles = list(enumerate_cycles(triangle_graph, 10, max_length=3, min_length=3))
+        assert cycles == [(0, 1, 2)]
+
+    def test_cycle_needs_increasing_times(self):
+        g = TemporalGraph([(0, 1, 3), (1, 2, 2), (2, 0, 1)])
+        assert twoscent_count_cycles(g, 10) == 0
+
+    def test_two_edge_cycles(self):
+        g = TemporalGraph([(0, 1, 1), (1, 0, 2)])
+        cycles = list(enumerate_cycles(g, 10, max_length=2))
+        assert cycles == [(0, 1)]
+
+    def test_longer_cycles_enumerated(self):
+        g = TemporalGraph([(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 0, 4)])
+        lengths = sorted(len(c) for c in enumerate_cycles(g, 10))
+        assert lengths == [4]
+
+    def test_max_length_bound(self):
+        g = TemporalGraph([(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 0, 4)])
+        assert list(enumerate_cycles(g, 10, max_length=3)) == []
+
+    def test_simple_cycles_only(self):
+        # a walk revisiting node 1 is not a simple cycle
+        g = TemporalGraph([(0, 1, 1), (1, 2, 2), (2, 1, 3), (1, 0, 4)])
+        lengths = sorted(len(c) for c in enumerate_cycles(g, 10))
+        assert lengths == [2, 2]  # 0->1->0 via (e1,e4); 1->2->1 via (e2,e3)
+
+    def test_delta_prunes(self):
+        g = TemporalGraph([(0, 1, 0), (1, 2, 5), (2, 0, 100)])
+        assert twoscent_count_cycles(g, 10) == 0
+        assert twoscent_count_cycles(g, 100) == 1
+
+    def test_cycle_rooted_once(self):
+        # two interleaved cycles share edges; each reported exactly once
+        g = TemporalGraph([(0, 1, 1), (1, 0, 2), (0, 1, 3), (1, 0, 4)])
+        cycles = list(enumerate_cycles(g, 10, max_length=2))
+        # every ordered (out, back) pairing, each rooted at its first edge
+        assert sorted(cycles) == [(0, 1), (0, 3), (1, 2), (2, 3)]
+
+    def test_ties_resolved_by_edge_id(self):
+        g = TemporalGraph([(0, 1, 5), (1, 2, 5), (2, 0, 5)])
+        assert twoscent_count_cycles(g, 10) == 1
+
+    def test_empty_graph(self):
+        assert twoscent_count_cycles(TemporalGraph([]), 10) == 0
+
+
+class TestValidation:
+    def test_negative_delta(self):
+        with pytest.raises(ValidationError):
+            twoscent_count_cycles(TemporalGraph([]), -1)
+
+    def test_min_length_too_small(self):
+        with pytest.raises(ValidationError):
+            list(enumerate_cycles(TemporalGraph([]), 10, min_length=1))
+
+    def test_max_below_min(self):
+        with pytest.raises(ValidationError):
+            list(enumerate_cycles(TemporalGraph([]), 10, max_length=2, min_length=3))

@@ -1,0 +1,89 @@
+"""Unit tests for the sliding-window sequence counter (EX's primitive)."""
+
+from repro.baselines.window_counter import count_sequences
+
+
+def idx(c1, c2, c3, C=2):
+    return (c1 * C + c2) * C + c3
+
+
+class TestBasicCounting:
+    def test_empty(self):
+        assert sum(count_sequences([], 10, 2)) == 0
+
+    def test_single_triple(self):
+        events = [(0, 0, 0), (1, 1, 1), (2, 2, 0)]
+        counts = count_sequences(events, 10, 2)
+        assert counts[idx(0, 1, 0)] == 1
+        assert sum(counts) == 1
+
+    def test_all_triples_of_four_events(self):
+        events = [(t, t, 0) for t in range(4)]
+        counts = count_sequences(events, 10, 2)
+        assert counts[idx(0, 0, 0)] == 4  # C(4,3)
+
+    def test_window_expiry(self):
+        events = [(0, 0, 0), (5, 1, 0), (100, 2, 0), (101, 3, 0), (102, 4, 0)]
+        counts = count_sequences(events, 10, 2)
+        # only (100,101,102) is within any 10-window
+        assert counts[idx(0, 0, 0)] == 1
+
+    def test_span_boundary_inclusive(self):
+        events = [(0, 0, 0), (5, 1, 0), (10, 2, 0)]
+        assert count_sequences(events, 10, 2)[idx(0, 0, 0)] == 1
+
+    def test_span_boundary_exclusive_beyond(self):
+        events = [(0, 0, 0), (5, 1, 0), (11, 2, 0)]
+        assert count_sequences(events, 11, 2)[idx(0, 0, 0)] == 1
+        assert count_sequences(events, 10, 2)[idx(0, 0, 0)] == 0
+
+    def test_class_separation(self):
+        events = [(0, 0, 1), (1, 1, 0), (2, 2, 1)]
+        counts = count_sequences(events, 10, 2)
+        assert counts[idx(1, 0, 1)] == 1
+        assert counts[idx(0, 0, 0)] == 0
+
+    def test_many_classes(self):
+        events = [(0, 0, 0), (1, 1, 3), (2, 2, 5)]
+        counts = count_sequences(events, 10, 6)
+        assert counts[(0 * 6 + 3) * 6 + 5] == 1
+
+    def test_matches_bruteforce_on_random_streams(self):
+        import itertools
+        import random
+
+        rng = random.Random(5)
+        for _ in range(40):
+            n = rng.randint(0, 14)
+            events = sorted(
+                ((rng.randint(0, 12), k, rng.randint(0, 1)) for k in range(n)),
+                key=lambda e: (e[0], e[1]),
+            )
+            events = [(t, k, c) for k, (t, _, c) in enumerate(events)]
+            delta = rng.randint(0, 8)
+            counts = count_sequences(events, delta, 2)
+            expected = [0] * 8
+            for a, b, c in itertools.combinations(range(len(events)), 3):
+                if events[c][0] - events[a][0] <= delta:
+                    expected[idx(events[a][2], events[b][2], events[c][2])] += 1
+            assert counts == expected
+
+
+class TestCountFromThreshold:
+    def test_threshold_keeps_later_triples(self):
+        events = [(0, 0, 0), (1, 1, 0), (2, 2, 0), (3, 3, 0)]
+        full = count_sequences(events, 10, 2)
+        # threshold at (2, 2): triples ending at events 2 and 3 only
+        part = count_sequences(events, 10, 2, count_from=(2, 2))
+        assert part[idx(0, 0, 0)] == 1 + 3  # (0,1,2) and the three ending at 3
+        assert full[idx(0, 0, 0)] == 4
+
+    def test_slabs_partition_exactly(self):
+        events = [(t, t, t % 2) for t in range(12)]
+        full = count_sequences(events, 5, 2)
+        lo_half = count_sequences(events, 5, 2, count_from=(6, 6))
+        # the complement: count everything, subtract
+        hi_excluded = [f - p for f, p in zip(full, lo_half)]
+        # recompute the early part by truncating the stream before (6,6)
+        early = count_sequences([e for e in events if (e[0], e[1]) < (6, 6)], 5, 2)
+        assert hi_excluded == early

@@ -1,0 +1,56 @@
+"""Shared fixtures and graph builders for the test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+import pytest
+
+from repro.graph.temporal_graph import TemporalGraph
+
+
+def random_edges(
+    rng: random.Random,
+    num_nodes: int,
+    num_edges: int,
+    t_max: int = 20,
+) -> List[Tuple[int, int, int]]:
+    """Random directed edges without self-loops, heavy timestamp ties."""
+    edges = []
+    for _ in range(num_edges):
+        u = rng.randrange(num_nodes)
+        v = rng.randrange(num_nodes)
+        while v == u:
+            v = rng.randrange(num_nodes)
+        edges.append((u, v, rng.randint(0, t_max)))
+    return edges
+
+
+def random_graph(seed: int, num_nodes: int = 6, num_edges: int = 25, t_max: int = 20) -> TemporalGraph:
+    rng = random.Random(seed)
+    return TemporalGraph(random_edges(rng, num_nodes, num_edges, t_max))
+
+
+@pytest.fixture
+def paper_graph() -> TemporalGraph:
+    """The temporal graph of the paper's Fig. 1 (5 nodes, 12 edges)."""
+    return TemporalGraph(
+        [
+            ("a", "c", 4), ("a", "c", 8), ("d", "a", 9), ("a", "b", 11), ("a", "c", 15),
+            ("e", "d", 1), ("e", "c", 6), ("d", "c", 10), ("d", "e", 14), ("c", "d", 17),
+            ("e", "d", 18), ("d", "e", 21),
+        ]
+    )
+
+
+@pytest.fixture
+def tiny_pair_graph() -> TemporalGraph:
+    """Two nodes exchanging four messages: pair motifs only."""
+    return TemporalGraph([(0, 1, 0), (1, 0, 2), (0, 1, 4), (1, 0, 6)])
+
+
+@pytest.fixture
+def triangle_graph() -> TemporalGraph:
+    """A single temporal cycle a->b->c->a (one M26 instance)."""
+    return TemporalGraph([(0, 1, 1), (1, 2, 2), (2, 0, 3)])

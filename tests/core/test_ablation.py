@@ -1,0 +1,47 @@
+"""Tests for the ablation variants: same results, different algorithmics."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.ablation import count_star_pair_rescan, count_triangle_no_window
+from repro.core.fast_star import count_star_pair
+from repro.core.fast_tri import count_triangle
+from tests.core.test_properties import deltas, temporal_graphs
+
+
+@settings(max_examples=80, deadline=None)
+@given(graph=temporal_graphs(), delta=deltas)
+def test_rescan_star_equals_fast_star(graph, delta):
+    star_a, pair_a = count_star_pair(graph, delta)
+    star_b, pair_b = count_star_pair_rescan(graph, delta)
+    assert star_a == star_b
+    assert pair_a == pair_b
+
+
+@settings(max_examples=80, deadline=None)
+@given(graph=temporal_graphs(), delta=deltas)
+def test_no_window_tri_equals_fast_tri(graph, delta):
+    assert count_triangle_no_window(graph, delta) == count_triangle(graph, delta)
+
+
+def test_rescan_on_paper_graph(paper_graph):
+    star_a, pair_a = count_star_pair(paper_graph, 10)
+    star_b, pair_b = count_star_pair_rescan(paper_graph, 10)
+    assert star_a == star_b
+    assert pair_a == pair_b
+
+
+def test_no_window_on_paper_graph(paper_graph):
+    assert count_triangle_no_window(paper_graph, 10) == count_triangle(paper_graph, 10)
+
+
+def test_rescan_validation():
+    import pytest
+
+    from repro.errors import ValidationError
+    from repro.graph.temporal_graph import TemporalGraph
+
+    with pytest.raises(ValidationError):
+        count_star_pair_rescan(TemporalGraph([]), -1)
+    with pytest.raises(ValidationError):
+        count_triangle_no_window(TemporalGraph([]), -1)

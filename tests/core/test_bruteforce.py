@@ -1,0 +1,63 @@
+"""Unit tests for the brute-force reference counter."""
+
+import pytest
+
+from repro.core.bruteforce import brute_force_counts
+from repro.errors import ValidationError
+from repro.graph.temporal_graph import TemporalGraph
+
+
+class TestHandCountedCases:
+    def test_empty(self):
+        assert brute_force_counts(TemporalGraph([]), 10).total() == 0
+
+    def test_one_cycle(self, triangle_graph):
+        counts = brute_force_counts(triangle_graph, 10)
+        assert counts["M26"] == 1
+        assert counts.total() == 1
+
+    def test_pair_ping_pong(self, tiny_pair_graph):
+        # edges o,i,o,i at t=0,2,4,6; delta=4 admits triples (0,2,4) and
+        # (2,4,6) — both alternate directions, i.e. both are M65
+        counts = brute_force_counts(tiny_pair_graph, 4)
+        assert counts["M65"] == 2
+        assert counts["M66"] == 0
+        assert counts.total() == 2
+
+    def test_pair_all_triples_with_large_delta(self, tiny_pair_graph):
+        counts = brute_force_counts(tiny_pair_graph, 100)
+        # C(4,3) = 4 ordered triples
+        assert counts.total() == 4
+
+    def test_star_simple(self):
+        # hub with a repeated neighbour: exactly one 3-node star
+        g = TemporalGraph([(0, 1, 1), (0, 2, 2), (0, 2, 3)])
+        counts = brute_force_counts(g, 10)
+        assert counts.total() == 1
+
+    def test_three_distinct_leaves_is_four_nodes(self):
+        # hub plus three distinct leaves spans 4 nodes: not a motif
+        g = TemporalGraph([(0, 1, 1), (0, 2, 2), (0, 3, 3)])
+        assert brute_force_counts(g, 10).total() == 0
+
+    def test_four_node_patterns_ignored(self):
+        g = TemporalGraph([(0, 1, 1), (2, 3, 2), (4, 5, 3)])
+        assert brute_force_counts(g, 10).total() == 0
+
+    def test_delta_zero(self):
+        g = TemporalGraph([(0, 1, 5), (0, 1, 5), (1, 0, 5)])
+        counts = brute_force_counts(g, 0)
+        assert counts["M56"] == 1
+
+    def test_negative_delta_raises(self):
+        with pytest.raises(ValidationError):
+            brute_force_counts(TemporalGraph([]), -1)
+
+    def test_paper_fig1_total(self, paper_graph):
+        counts = brute_force_counts(paper_graph, 10)
+        # all named instances in the paper text are present
+        assert counts["M63"] == 1
+        assert counts["M46"] == 1
+        assert counts["M65"] == 1
+        assert counts["M25"] == 1
+        assert counts.algorithm == "bruteforce"

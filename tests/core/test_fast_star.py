@@ -1,0 +1,153 @@
+"""Unit tests for FAST-Star (Algorithm 1)."""
+
+import pytest
+
+from repro.core import motifs as M
+from repro.core.fast_star import count_star_pair, count_star_pair_tasks
+from repro.graph.temporal_graph import IN, OUT, TemporalGraph
+
+
+class TestPaperWalkthrough:
+    """The worked example of §IV-A.3: center va of the Fig. 1 graph,
+    δ = 10 seconds."""
+
+    def test_center_va_counts(self, paper_graph):
+        va = paper_graph.index("a")
+        star, pair = count_star_pair(paper_graph, 10, nodes=[va])
+        # Star[III,o,o,in] += 1  (the M63 instance)
+        assert star.get(M.STAR_III, OUT, OUT, IN) == 1
+        # Star[III,o,o,o] += 1
+        assert star.get(M.STAR_III, OUT, OUT, OUT) == 1
+        # Star[II,o,in,o] += 1 and Star[II,o,o,o] += 1
+        assert star.get(M.STAR_II, OUT, IN, OUT) == 1
+        assert star.get(M.STAR_II, OUT, OUT, OUT) == 1
+        # and nothing else from this center
+        assert star.total() == 4
+        assert pair.total() == 0
+
+    def test_full_graph_m63(self, paper_graph):
+        star, _ = count_star_pair(paper_graph, 10)
+        assert star.per_motif()["M63"] == 1
+
+
+class TestSmallCases:
+    def test_single_star_out_out_out(self):
+        # center 0 sends to 1, 2, 2: edges 2,3 to same nbr -> Star-I
+        g = TemporalGraph([(0, 1, 1), (0, 2, 2), (0, 2, 3)])
+        star, pair = count_star_pair(g, 10)
+        assert star.get(M.STAR_I, OUT, OUT, OUT) == 1
+        assert star.total() == 1
+        assert pair.total() == 0
+
+    def test_pair_counted_from_both_centers(self, tiny_pair_graph):
+        _, pair = count_star_pair(tiny_pair_graph, 10)
+        # 4 alternating edges -> instances (e1,e2,e3) and (e2,e3,e4)
+        # from each endpoint's view.
+        assert pair.check_center_symmetry()
+        assert pair.per_motif()["M65"] == 2  # o,in,o twice from source side
+
+    def test_no_motif_below_three_edges(self):
+        g = TemporalGraph([(0, 1, 1), (1, 0, 2)])
+        star, pair = count_star_pair(g, 10)
+        assert star.total() == 0
+        assert pair.total() == 0
+
+    def test_delta_zero_requires_simultaneity(self):
+        g = TemporalGraph([(0, 1, 5), (0, 2, 5), (0, 2, 5)])
+        star, _ = count_star_pair(g, 0)
+        assert star.total() == 1
+        g2 = TemporalGraph([(0, 1, 5), (0, 2, 6), (0, 2, 7)])
+        star2, _ = count_star_pair(g2, 0)
+        assert star2.total() == 0
+
+    def test_delta_excludes_far_edges(self):
+        g = TemporalGraph([(0, 1, 0), (0, 2, 5), (0, 2, 100)])
+        star, _ = count_star_pair(g, 10)
+        assert star.total() == 0
+
+    def test_delta_boundary_inclusive(self):
+        # span is exactly delta -> still counted (t3 - t1 <= delta)
+        g = TemporalGraph([(0, 1, 0), (0, 2, 5), (0, 2, 10)])
+        star, _ = count_star_pair(g, 10)
+        assert star.total() == 1
+
+    def test_negative_delta_raises(self):
+        with pytest.raises(ValueError):
+            count_star_pair(TemporalGraph([]), -1)
+
+    def test_empty_graph(self):
+        star, pair = count_star_pair(TemporalGraph([]), 10)
+        assert star.total() == 0
+        assert pair.total() == 0
+
+
+class TestStarTypes:
+    def test_star_i_isolated_first(self):
+        # edge 1 to node 1 (isolated), edges 2-3 to node 2
+        g = TemporalGraph([(0, 1, 1), (0, 2, 2), (2, 0, 3)])
+        star, _ = count_star_pair(g, 10)
+        assert star.get(M.STAR_I, OUT, OUT, IN) == 1
+
+    def test_star_ii_isolated_middle(self):
+        # edges 1,3 to node 1, edge 2 to node 2
+        g = TemporalGraph([(0, 1, 1), (2, 0, 2), (0, 1, 3)])
+        star, _ = count_star_pair(g, 10)
+        assert star.get(M.STAR_II, OUT, IN, OUT) == 1
+
+    def test_star_iii_isolated_last(self):
+        # edges 1,2 to node 1, edge 3 to node 2
+        g = TemporalGraph([(0, 1, 1), (1, 0, 2), (0, 2, 3)])
+        star, _ = count_star_pair(g, 10)
+        assert star.get(M.STAR_III, OUT, IN, OUT) == 1
+
+    def test_star_types_exactly_once_per_instance(self):
+        # 4 incident edges, neighbour 2 repeated: only the triples that
+        # touch exactly two distinct neighbours are stars —
+        # (e1,e2,e3) and (e2,e3,e4); {e1,e2,e4} and {e1,e3,e4} span 4 nodes
+        g = TemporalGraph([(0, 1, 1), (0, 2, 2), (0, 2, 3), (0, 3, 4)])
+        star, _ = count_star_pair(g, 100)
+        assert star.total() == 2
+
+
+class TestTaskDecomposition:
+    def test_first_edge_range_partition_is_exact(self, paper_graph):
+        full_star, full_pair = count_star_pair(paper_graph, 10)
+        # split every node's first-edge range into singleton tasks
+        tasks = []
+        for node in range(paper_graph.num_nodes):
+            degree = paper_graph.degree(node)
+            tasks.extend((node, i, i + 1) for i in range(degree))
+        star, pair = count_star_pair_tasks(paper_graph, 10, tasks)
+        assert star == full_star
+        assert pair == full_pair
+
+    def test_node_subset_sums_to_full(self, paper_graph):
+        full_star, full_pair = count_star_pair(paper_graph, 10)
+        half_a = list(range(0, paper_graph.num_nodes, 2))
+        half_b = list(range(1, paper_graph.num_nodes, 2))
+        star_a, pair_a = count_star_pair(paper_graph, 10, nodes=half_a)
+        star_b, pair_b = count_star_pair(paper_graph, 10, nodes=half_b)
+        assert star_a.merge(star_b) == full_star
+        assert pair_a.merge(pair_b) == full_pair
+
+    def test_out_of_range_task_bounds_are_clamped(self, paper_graph):
+        star, pair = count_star_pair_tasks(
+            paper_graph, 10,
+            [(n, 0, 10_000) for n in range(paper_graph.num_nodes)],
+        )
+        full_star, full_pair = count_star_pair(paper_graph, 10)
+        assert star == full_star
+        assert pair == full_pair
+
+
+class TestTies:
+    def test_equal_timestamps_ordered_by_input(self):
+        # three simultaneous edges at the hub: exactly one ordered triple
+        g = TemporalGraph([(0, 1, 5), (0, 2, 5), (0, 2, 5)])
+        star, _ = count_star_pair(g, 10)
+        assert star.total() == 1
+
+    def test_pair_with_ties(self):
+        g = TemporalGraph([(0, 1, 5), (1, 0, 5), (0, 1, 5)])
+        _, pair = count_star_pair(g, 10)
+        assert pair.per_motif()["M65"] == 1

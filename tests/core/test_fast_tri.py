@@ -1,0 +1,142 @@
+"""Unit tests for FAST-Tri (Algorithm 2)."""
+
+import pytest
+
+from repro.core import motifs as M
+from repro.core.fast_tri import count_triangle, count_triangle_tasks
+from repro.errors import ValidationError
+from repro.graph.temporal_graph import OUT, IN, TemporalGraph
+
+
+class TestPaperWalkthrough:
+    """The worked example of §IV-B.2: center ve of the Fig. 1 graph."""
+
+    def test_center_ve_counts(self, paper_graph):
+        ve = paper_graph.index("e")
+        tri = count_triangle(paper_graph, 10, nodes=[ve])
+        # Tri[III,o,o,o] += 1 (first pass of the walkthrough).
+        assert tri.get(M.TRI_III, OUT, OUT, OUT) == 1
+        # The second pass detects the M46 instance as Triangle-II.  The
+        # paper's text writes "Tri[II,o,in,o]", but its own Fig. 8 maps
+        # M46 to Tri[II,o,in,in] — ek = (vd,vc) runs *into* v = vc, so
+        # the last direction must be `in`; the text's final `o` is a typo.
+        assert tri.get(M.TRI_II, OUT, IN, IN) == 1
+        assert tri.total() == 2
+
+    def test_full_graph_triple_counting(self, paper_graph):
+        tri = count_triangle(paper_graph, 10)
+        assert tri.check_corner_symmetry()
+        per = tri.per_motif()
+        assert per["M46"] == 1  # the ⟨(e,c),(d,c),(d,e)⟩ instance
+        assert per["M25"] == 1  # the ⟨(a,c,8),(d,a,9),(c,d,17)⟩ instance
+
+
+class TestBasicCases:
+    def test_single_cycle(self, triangle_graph):
+        tri = count_triangle(triangle_graph, 10)
+        assert tri.per_motif()["M26"] == 1
+        assert sum(tri.per_motif().values()) == 1
+
+    def test_each_instance_counted_three_times_raw(self, triangle_graph):
+        tri = count_triangle(triangle_graph, 10)
+        assert tri.total() == 3
+        assert tri.multiplicity == 3
+
+    def test_delta_excludes_slow_triangle(self):
+        g = TemporalGraph([(0, 1, 0), (1, 2, 5), (2, 0, 100)])
+        tri = count_triangle(g, 10)
+        assert tri.total() == 0
+
+    def test_delta_boundary_inclusive(self):
+        g = TemporalGraph([(0, 1, 0), (1, 2, 5), (2, 0, 10)])
+        assert count_triangle(g, 10).per_motif()["M26"] == 1
+
+    def test_two_nodes_cannot_form_triangle(self, tiny_pair_graph):
+        assert count_triangle(tiny_pair_graph, 100).total() == 0
+
+    def test_negative_delta_raises(self):
+        with pytest.raises(ValidationError):
+            count_triangle(TemporalGraph([]), -5)
+
+    def test_empty_graph(self):
+        assert count_triangle(TemporalGraph([]), 5).total() == 0
+
+    def test_multi_edge_triangle_multiplicity(self):
+        # two parallel closing edges -> two distinct triangle instances
+        g = TemporalGraph([(0, 1, 1), (1, 2, 2), (2, 0, 3), (2, 0, 4)])
+        tri = count_triangle(g, 10)
+        assert tri.per_motif()["M26"] == 2
+
+
+class TestTriangleTypes:
+    def test_type_i_closing_edge_first(self):
+        # ek=(1,2) before ei=(0,1), ej=(0,2): center 0 sees Type I
+        g = TemporalGraph([(1, 2, 1), (0, 1, 2), (0, 2, 3)])
+        tri = count_triangle(g, 10, nodes=[g.index(0)])
+        assert tri.get(M.TRI_I, OUT, OUT, OUT) == 1
+
+    def test_type_ii_closing_edge_middle(self):
+        g = TemporalGraph([(0, 1, 1), (1, 2, 2), (0, 2, 3)])
+        tri = count_triangle(g, 10, nodes=[g.index(0)])
+        assert tri.get(M.TRI_II, OUT, OUT, OUT) == 1
+
+    def test_type_iii_closing_edge_last(self):
+        g = TemporalGraph([(0, 1, 1), (0, 2, 2), (1, 2, 3)])
+        tri = count_triangle(g, 10, nodes=[g.index(0)])
+        assert tri.get(M.TRI_III, OUT, OUT, OUT) == 1
+
+    def test_type_i_window_constraint(self):
+        # ek at t=0, ei at t=6, ej at t=11: span 11 > delta 10 -> no count
+        g = TemporalGraph([(1, 2, 0), (0, 1, 6), (0, 2, 11)])
+        tri = count_triangle(g, 10, nodes=[g.index(0)])
+        assert tri.total() == 0
+
+
+class TestRemoveCenters:
+    def test_matches_parallel_mode(self, paper_graph):
+        dedup = count_triangle(paper_graph, 10, remove_centers=True)
+        triple = count_triangle(paper_graph, 10)
+        assert dedup.multiplicity == 1
+        assert dedup.per_motif() == triple.per_motif()
+
+    def test_incompatible_with_node_subset(self, paper_graph):
+        with pytest.raises(ValidationError):
+            count_triangle(paper_graph, 10, nodes=[0], remove_centers=True)
+
+    def test_total_equals_instance_count(self, triangle_graph):
+        dedup = count_triangle(triangle_graph, 10, remove_centers=True)
+        assert dedup.total() == 1
+
+
+class TestTaskDecomposition:
+    def test_first_edge_singleton_tasks(self, paper_graph):
+        full = count_triangle(paper_graph, 10)
+        tasks = []
+        for node in range(paper_graph.num_nodes):
+            tasks.extend((node, i, i + 1) for i in range(paper_graph.degree(node)))
+        split = count_triangle_tasks(paper_graph, 10, tasks)
+        assert split == full
+
+    def test_node_subsets_merge(self, paper_graph):
+        full = count_triangle(paper_graph, 10)
+        a = count_triangle(paper_graph, 10, nodes=[0, 1, 2])
+        b = count_triangle(paper_graph, 10, nodes=list(range(3, paper_graph.num_nodes)))
+        assert a.merge(b) == full
+
+
+class TestTies:
+    def test_simultaneous_cycle(self):
+        g = TemporalGraph([(0, 1, 5), (1, 2, 5), (2, 0, 5)])
+        assert count_triangle(g, 10).per_motif()["M26"] == 1
+
+    def test_tie_between_ei_and_ek(self):
+        # ek shares ei's timestamp but has smaller eid -> Type I at center 0
+        g = TemporalGraph([(1, 2, 5), (0, 1, 5), (0, 2, 7)])
+        tri = count_triangle(g, 10, nodes=[g.index(0)])
+        assert tri.get(M.TRI_I, OUT, OUT, OUT) == 1
+
+    def test_tie_between_ej_and_ek(self):
+        # ek shares ej's timestamp but has larger eid -> Type III at center 0
+        g = TemporalGraph([(0, 1, 5), (0, 2, 7), (1, 2, 7)])
+        tri = count_triangle(g, 10, nodes=[g.index(0)])
+        assert tri.get(M.TRI_III, OUT, OUT, OUT) == 1

@@ -1,0 +1,224 @@
+"""Tests for the 36-motif taxonomy — including every anchor the paper
+text pins down (worked examples, Fig. 3, Fig. 8)."""
+
+import pytest
+
+from repro.core import motifs as M
+from repro.core.motifs import (
+    ALL_MOTIFS,
+    BY_CANONICAL,
+    GRID,
+    MOTIFS_BY_NAME,
+    MotifCategory,
+    canonicalize,
+    classify_triple,
+    pair_cell_motif,
+    star_cell_motif,
+    tri_cell_motif,
+)
+from repro.graph.temporal_graph import IN, OUT
+
+
+class TestGridStructure:
+    def test_36_cells(self):
+        assert len(GRID) == 36
+        assert {(i, j) for i in range(1, 7) for j in range(1, 7)} == set(GRID)
+
+    def test_category_sizes(self):
+        by_cat = {}
+        for m in ALL_MOTIFS:
+            by_cat.setdefault(m.category, []).append(m)
+        assert len(by_cat[MotifCategory.PAIR]) == 4
+        assert len(by_cat[MotifCategory.STAR]) == 24
+        assert len(by_cat[MotifCategory.TRIANGLE]) == 8
+
+    def test_pair_positions(self):
+        # "the four 2-node motifs": M55, M56, M65, M66
+        for name in ("M55", "M56", "M65", "M66"):
+            assert MOTIFS_BY_NAME[name].category is MotifCategory.PAIR
+
+    def test_triangle_positions(self):
+        # triangles are rows 1-4, columns 5-6 (yellow cells of Fig. 2)
+        for m in ALL_MOTIFS:
+            if m.category is MotifCategory.TRIANGLE:
+                assert m.row in (1, 2, 3, 4)
+                assert m.col in (5, 6)
+
+    def test_star_positions_follow_fig3(self):
+        # Fig. 3: Star-I rows 1-2, Star-II rows 3-4, Star-III rows 5-6,
+        # all in columns 1-4.
+        for m in ALL_MOTIFS:
+            if m.category is MotifCategory.STAR:
+                assert m.col in (1, 2, 3, 4)
+
+    def test_canonical_forms_unique(self):
+        forms = [m.canonical for m in ALL_MOTIFS]
+        assert len(set(forms)) == 36
+
+    def test_first_edge_always_1_to_2(self):
+        for m in ALL_MOTIFS:
+            assert m.canonical[0] == (1, 2)
+
+    def test_names(self):
+        assert MOTIFS_BY_NAME["M24"].row == 2
+        assert MOTIFS_BY_NAME["M24"].col == 4
+        assert GRID[(3, 1)].name == "M31"
+
+    def test_num_nodes(self):
+        assert MOTIFS_BY_NAME["M55"].num_nodes == 2
+        assert MOTIFS_BY_NAME["M11"].num_nodes == 3
+
+
+class TestPaperAnchors:
+    """Every motif label recoverable from the paper's own text."""
+
+    def test_M63_walkthrough(self):
+        # "⟨(va,vc,4s), (va,vc,8s), (vd,va,9s)⟩ is an instance of M63"
+        assert MOTIFS_BY_NAME["M63"].canonical == ((1, 2), (1, 2), (3, 1))
+
+    def test_M46_walkthrough(self):
+        # "⟨(ve,vc,6s), (vd,vc,10s), (vd,ve,14s)⟩ is an instance of M46"
+        assert classify_triple(((5, 3), (4, 3), (4, 5))).name == "M46"
+
+    def test_M65_walkthrough(self):
+        # "⟨(vd,ve,14s), (ve,vd,18s), (vd,ve,21s)⟩ is an instance of M65"
+        assert classify_triple(((4, 5), (5, 4), (4, 5))).name == "M65"
+
+    def test_M25_triangle_walkthrough(self):
+        # "⟨(va,vc,8s), (vd,va,9s), (vc,vd,17s)⟩ forms an instance of M25"
+        assert classify_triple(((1, 3), (4, 1), (3, 4))).name == "M25"
+
+    def test_M24_star_counter_example(self):
+        # "Star[I,in,o,in] records ... M24"
+        assert star_cell_motif(M.STAR_I, IN, OUT, IN).name == "M24"
+
+    def test_M63_star_counter_example(self):
+        # the worked FAST-Star example: Star[III,o,o,in] += 1 for the M63 instance
+        assert star_cell_motif(M.STAR_III, OUT, OUT, IN).name == "M63"
+
+    def test_M26_is_the_temporal_cycle(self):
+        # "2SCENT can only detect the triangle motif M26"
+        assert MOTIFS_BY_NAME["M26"].is_cycle
+        assert MOTIFS_BY_NAME["M26"].canonical == ((1, 2), (2, 3), (3, 1))
+        assert sum(1 for m in ALL_MOTIFS if m.is_cycle) == 1
+
+    def test_pair_isomorphism_M55(self):
+        # "Pair[in,in,in] ≅ Pair[o,o,o] ≅ M55"
+        assert pair_cell_motif(IN, IN, IN).name == "M55"
+        assert pair_cell_motif(OUT, OUT, OUT).name == "M55"
+
+    def test_pair_isomorphism_M65(self):
+        # "Pair[in,o,in] ≅ Pair[o,in,o] ≅ M65"
+        assert pair_cell_motif(IN, OUT, IN).name == "M65"
+        assert pair_cell_motif(OUT, IN, OUT).name == "M65"
+
+    # The full triangle isomorphism table of Fig. 8, verbatim.
+    FIG8 = {
+        "M45": [(M.TRI_I, IN, OUT, OUT), (M.TRI_II, IN, IN, OUT), (M.TRI_III, OUT, OUT, IN)],
+        "M35": [(M.TRI_I, OUT, OUT, OUT), (M.TRI_II, IN, IN, IN), (M.TRI_III, OUT, IN, IN)],
+        "M15": [(M.TRI_I, IN, IN, OUT), (M.TRI_II, IN, OUT, OUT), (M.TRI_III, OUT, OUT, OUT)],
+        "M25": [(M.TRI_I, OUT, IN, OUT), (M.TRI_II, IN, OUT, IN), (M.TRI_III, OUT, IN, OUT)],
+        "M26": [(M.TRI_I, IN, OUT, IN), (M.TRI_II, OUT, IN, OUT), (M.TRI_III, IN, OUT, IN)],
+        "M46": [(M.TRI_I, OUT, OUT, IN), (M.TRI_II, OUT, IN, IN), (M.TRI_III, IN, IN, IN)],
+        "M16": [(M.TRI_I, IN, IN, IN), (M.TRI_II, OUT, OUT, OUT), (M.TRI_III, IN, OUT, OUT)],
+        "M36": [(M.TRI_I, OUT, IN, IN), (M.TRI_II, OUT, OUT, IN), (M.TRI_III, IN, IN, OUT)],
+    }
+
+    @pytest.mark.parametrize("name,cells", sorted(FIG8.items()))
+    def test_fig8_triangle_isomorphism_table(self, name, cells):
+        for cell in cells:
+            assert tri_cell_motif(*cell).name == name
+
+    def test_fig8_covers_all_24_cells(self):
+        cells = [c for cells in self.FIG8.values() for c in cells]
+        assert len(cells) == 24
+        assert len(set(cells)) == 24
+
+
+class TestCounterCellMappings:
+    def test_star_cells_bijective(self):
+        seen = set()
+        for t in (M.STAR_I, M.STAR_II, M.STAR_III):
+            for d1 in (OUT, IN):
+                for d2 in (OUT, IN):
+                    for d3 in (OUT, IN):
+                        seen.add(star_cell_motif(t, d1, d2, d3).name)
+        assert len(seen) == 24
+
+    def test_pair_cells_cover_both_views(self):
+        # 8 cells -> 4 motifs, each motif from exactly 2 complementary cells
+        from collections import Counter
+
+        names = Counter()
+        for d1 in (OUT, IN):
+            for d2 in (OUT, IN):
+                for d3 in (OUT, IN):
+                    names[pair_cell_motif(d1, d2, d3).name] += 1
+        assert all(v == 2 for v in names.values())
+        assert len(names) == 4
+
+    def test_pair_complement_is_isomorphic(self):
+        for d1 in (OUT, IN):
+            for d2 in (OUT, IN):
+                for d3 in (OUT, IN):
+                    assert (
+                        pair_cell_motif(d1, d2, d3)
+                        == pair_cell_motif(1 - d1, 1 - d2, 1 - d3)
+                    )
+
+    def test_tri_cells_three_per_motif(self):
+        from collections import Counter
+
+        names = Counter()
+        for t in (M.TRI_I, M.TRI_II, M.TRI_III):
+            for di in (OUT, IN):
+                for dj in (OUT, IN):
+                    for dk in (OUT, IN):
+                        names[tri_cell_motif(t, di, dj, dk).name] += 1
+        assert all(v == 3 for v in names.values())
+        assert len(names) == 8
+
+    def test_tri_one_cell_per_type_per_motif(self):
+        groups = {}
+        for t in (M.TRI_I, M.TRI_II, M.TRI_III):
+            for di in (OUT, IN):
+                for dj in (OUT, IN):
+                    for dk in (OUT, IN):
+                        groups.setdefault(
+                            tri_cell_motif(t, di, dj, dk).name, []
+                        ).append(t)
+        for types in groups.values():
+            assert sorted(types) == [M.TRI_I, M.TRI_II, M.TRI_III]
+
+
+class TestClassification:
+    def test_canonicalize_relabels_by_appearance(self):
+        assert canonicalize([(7, 9), (9, 3), (3, 7)]) == ((1, 2), (2, 3), (3, 1))
+
+    def test_classify_four_nodes_returns_none(self):
+        assert classify_triple(((0, 1), (2, 3), (1, 2))) is None
+
+    def test_classify_self_loop_returns_none(self):
+        assert classify_triple(((0, 0), (0, 1), (1, 0))) is None
+
+    def test_classify_all_canonical_forms_roundtrip(self):
+        for m in ALL_MOTIFS:
+            assert classify_triple(m.canonical) is m
+
+    def test_by_canonical_lookup(self):
+        assert BY_CANONICAL[((1, 2), (2, 1), (2, 1))].name == "M66"
+
+    def test_star_type_names(self):
+        assert M.star_type_name(M.STAR_I) == "I"
+        assert M.star_type_name(M.STAR_III) == "III"
+
+    def test_invalid_star_type_raises(self):
+        with pytest.raises(ValueError):
+            M._star_cell_canonical(5, OUT, OUT, OUT)
+
+    def test_invalid_tri_type_raises(self):
+        with pytest.raises(ValueError):
+            M._tri_cell_canonical(7, OUT, OUT, OUT)
+
+    def test_repr_shows_arrows(self):
+        assert "⟨1→2" in repr(MOTIFS_BY_NAME["M55"])

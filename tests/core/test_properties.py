@@ -1,0 +1,138 @@
+"""Property-based tests: FAST against the brute-force oracle.
+
+These are the central correctness arguments of the reproduction: on
+arbitrary random temporal graphs — including timestamp ties, heavy
+multi-edges and reciprocated bursts — FAST's counters must agree with
+exhaustive enumeration, and every structural invariant the paper's
+de-duplication rules rely on must hold.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.api import count_motifs
+from repro.core.bruteforce import brute_force_counts
+from repro.core.fast_star import count_star_pair
+from repro.core.fast_tri import count_triangle
+from repro.graph.temporal_graph import TemporalGraph
+
+
+@st.composite
+def temporal_graphs(draw, max_nodes=8, max_edges=28, max_t=18):
+    """Random small temporal graphs with frequent timestamp ties."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    edges = []
+    for _ in range(m):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u == v:
+            v = (v + 1) % n
+        t = draw(st.integers(min_value=0, max_value=max_t))
+        edges.append((u, v, t))
+    return TemporalGraph(edges)
+
+
+deltas = st.integers(min_value=0, max_value=15)
+
+
+@settings(max_examples=120, deadline=None)
+@given(graph=temporal_graphs(), delta=deltas)
+def test_fast_equals_bruteforce(graph, delta):
+    assert count_motifs(graph, delta) == brute_force_counts(graph, delta)
+
+
+@settings(max_examples=80, deadline=None)
+@given(graph=temporal_graphs(), delta=deltas)
+def test_pair_counter_center_symmetry(graph, delta):
+    _, pair = count_star_pair(graph, delta)
+    assert pair.check_center_symmetry()
+
+
+@settings(max_examples=80, deadline=None)
+@given(graph=temporal_graphs(), delta=deltas)
+def test_triangle_corner_symmetry(graph, delta):
+    tri = count_triangle(graph, delta)
+    assert tri.check_corner_symmetry()
+
+
+@settings(max_examples=80, deadline=None)
+@given(graph=temporal_graphs(), delta=deltas)
+def test_triangle_dedup_equals_divide_by_three(graph, delta):
+    removed = count_triangle(graph, delta, remove_centers=True)
+    parallel = count_triangle(graph, delta)
+    assert removed.per_motif() == parallel.per_motif()
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph=temporal_graphs(), delta=deltas, split=st.integers(min_value=1, max_value=5))
+def test_first_edge_split_invariance(graph, delta, split):
+    """Splitting first-edge ranges (HARE's intra-node mode) is exact."""
+    from repro.core.fast_star import count_star_pair_tasks
+    from repro.core.fast_tri import count_triangle_tasks
+
+    tasks = []
+    for node in range(graph.num_nodes):
+        degree = graph.degree(node)
+        step = max(1, -(-degree // split))
+        lo = 0
+        while lo < degree:
+            tasks.append((node, lo, min(lo + step, degree)))
+            lo += step
+    star_split, pair_split = count_star_pair_tasks(graph, delta, tasks)
+    tri_split = count_triangle_tasks(graph, delta, tasks)
+    star_full, pair_full = count_star_pair(graph, delta)
+    assert star_split == star_full
+    assert pair_split == pair_full
+    assert tri_split == count_triangle(graph, delta)
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph=temporal_graphs(), delta=deltas)
+def test_monotonicity_in_delta(graph, delta):
+    """Growing δ can only add motif instances, never remove them."""
+    small = count_motifs(graph, delta)
+    large = count_motifs(graph, delta + 3)
+    assert (large.grid >= small.grid).all()
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph=temporal_graphs(), delta=deltas)
+def test_time_shift_invariance(graph, delta):
+    """Motif counts depend on gaps, not absolute timestamps."""
+    shifted = TemporalGraph([(u, v, t + 1000) for u, v, t in graph.edges()])
+    assert count_motifs(graph, delta) == count_motifs(shifted, delta)
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph=temporal_graphs(), delta=deltas)
+def test_node_relabel_invariance(graph, delta):
+    """Counts are invariant under node relabelling."""
+    relabeled = TemporalGraph(
+        [(f"n{u}", f"n{v}", t) for u, v, t in graph.edges()]
+    )
+    assert count_motifs(graph, delta) == count_motifs(relabeled, delta)
+
+
+@settings(max_examples=50, deadline=None)
+@given(graph=temporal_graphs(max_edges=20), delta=deltas)
+def test_disjoint_union_additivity(graph, delta):
+    """Counts over disjoint node sets add up (no cross-talk)."""
+    edges = list(graph.edges())
+    offset = graph.num_nodes + 10
+    union = TemporalGraph(
+        edges + [(u + offset, v + offset, t) for u, v, t in graph.internal_edges()]
+    )
+    single = count_motifs(graph, delta)
+    double = count_motifs(union, delta)
+    assert (double.grid == 2 * single.grid).all()
+
+
+@settings(max_examples=50, deadline=None)
+@given(graph=temporal_graphs(), delta=deltas)
+def test_huge_delta_equals_unconstrained(graph, delta):
+    """Once δ covers the whole span, counts stop growing."""
+    span = int(graph.time_span)
+    a = count_motifs(graph, span + 1)
+    b = count_motifs(graph, span + 1000)
+    assert a == b

@@ -1,0 +1,59 @@
+"""Tests for MotifCounts serialisation."""
+
+import pytest
+
+from repro.core.api import count_motifs
+from repro.core.serialize import (
+    counts_from_json,
+    counts_to_csv,
+    counts_to_json,
+    load_counts,
+    save_counts,
+)
+from repro.errors import ValidationError
+
+
+class TestJson:
+    def test_roundtrip(self, paper_graph):
+        counts = count_motifs(paper_graph, 10)
+        restored = counts_from_json(counts_to_json(counts))
+        assert restored == counts
+        assert restored.algorithm == counts.algorithm
+        assert restored.delta == counts.delta
+
+    def test_file_roundtrip(self, paper_graph, tmp_path):
+        counts = count_motifs(paper_graph, 10)
+        path = tmp_path / "counts.json"
+        save_counts(counts, path)
+        assert load_counts(path) == counts
+
+    def test_invalid_json(self):
+        with pytest.raises(ValidationError, match="invalid JSON"):
+            counts_from_json("not json {")
+
+    def test_unknown_format(self):
+        with pytest.raises(ValidationError, match="unknown format"):
+            counts_from_json('{"format": "other/9", "counts": {}}')
+
+    def test_unknown_motif_rejected(self):
+        doc = '{"format": "repro.motif_counts/1", "counts": {"M99": 1}}'
+        with pytest.raises(ValidationError, match="unknown motif"):
+            counts_from_json(doc)
+
+    def test_json_is_sorted_and_versioned(self, paper_graph):
+        text = counts_to_json(count_motifs(paper_graph, 10))
+        assert '"format": "repro.motif_counts/1"' in text
+
+
+class TestCsv:
+    def test_csv_has_37_lines(self, paper_graph):
+        text = counts_to_csv(count_motifs(paper_graph, 10))
+        lines = text.strip().splitlines()
+        assert len(lines) == 37  # header + 36 motifs
+        assert lines[0] == "motif,row,col,category,count"
+
+    def test_csv_counts_match(self, paper_graph):
+        counts = count_motifs(paper_graph, 10)
+        for line in counts_to_csv(counts).strip().splitlines()[1:]:
+            name, _, _, _, value = line.split(",")
+            assert counts[name] == int(value)

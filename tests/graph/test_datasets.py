@@ -1,0 +1,88 @@
+"""Tests for the sixteen-dataset registry."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.graph.datasets import REGISTRY, dataset_names, get_spec, load_dataset
+
+
+class TestRegistry:
+    def test_sixteen_datasets(self):
+        assert len(REGISTRY) == 16
+
+    def test_paper_order_matches_table2(self):
+        names = dataset_names()
+        assert names[0] == "email_eu"
+        assert names[1] == "collegemsg"
+        assert names[-1] == "redditcomments"
+
+    def test_paper_statistics_recorded(self):
+        spec = get_spec("redditcomments")
+        assert spec.paper_edges == 613_289_746
+        assert spec.paper_nodes == 8_036_164
+
+    def test_bipartite_flags(self):
+        assert get_spec("rec_movielens").bipartite
+        assert get_spec("ia_online_ads").bipartite
+        assert get_spec("act_mooc").bipartite
+        assert not get_spec("wikitalk").bipartite
+
+    def test_unique_seeds(self):
+        seeds = [spec.seed for spec in REGISTRY.values()]
+        assert len(seeds) == len(set(seeds))
+
+    def test_edge_scale_at_most_one(self):
+        for spec in REGISTRY.values():
+            assert spec.edge_scale <= 1.0
+
+    def test_small_datasets_full_size(self):
+        for name in ("collegemsg", "bitcoinotc", "bitcoinalpha"):
+            spec = get_spec(name)
+            assert spec.gen_edges == spec.paper_edges
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            get_spec("livejournal")
+        with pytest.raises(DatasetError):
+            load_dataset("livejournal")
+
+
+class TestLoading:
+    def test_load_matches_spec_size(self):
+        graph = load_dataset("collegemsg")
+        spec = get_spec("collegemsg")
+        assert graph.num_edges == spec.gen_edges
+        assert graph.num_nodes <= spec.gen_nodes
+
+    def test_caching_returns_same_object(self):
+        a = load_dataset("bitcoinalpha")
+        b = load_dataset("bitcoinalpha")
+        assert a is b
+
+    def test_cache_bypass(self):
+        a = load_dataset("bitcoinalpha")
+        b = load_dataset("bitcoinalpha", cache=False)
+        assert a is not b
+        assert a == b
+
+    def test_scaling(self):
+        full = get_spec("collegemsg").gen_edges
+        scaled = load_dataset("collegemsg", scale=0.1)
+        assert scaled.num_edges == int(full * 0.1)
+
+    def test_deterministic_rebuild(self):
+        a = load_dataset("sms_a", cache=False)
+        b = load_dataset("sms_a", cache=False)
+        assert a == b
+
+    def test_time_span_close_to_paper(self):
+        spec = get_spec("bitcoinotc")
+        graph = load_dataset("bitcoinotc")
+        days = graph.time_span / 86_400
+        assert days == pytest.approx(spec.paper_days, rel=0.05)
+
+    def test_bipartite_dataset_structure(self):
+        graph = load_dataset("ia_online_ads", scale=0.2)
+        sources = {u for u, _, _ in graph.internal_edges()}
+        targets = {v for _, v, _ in graph.internal_edges()}
+        assert not (sources & targets)

@@ -1,0 +1,105 @@
+"""Tests for SNAP-format edge list IO."""
+
+import gzip
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.edgelist import iter_edge_records, load_edgelist, save_edgelist
+from repro.graph.temporal_graph import TemporalGraph
+
+
+class TestLoading:
+    def test_basic_load(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 10\n1 2 20\n")
+        g = load_edgelist(path)
+        assert g.num_edges == 2
+        assert g.timestamps.tolist() == [10, 20]
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n% other comment\n\n0 1 10\n")
+        g = load_edgelist(path)
+        assert g.num_edges == 1
+
+    def test_extra_columns_ignored(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 10 weight=3\n")
+        assert load_edgelist(path).num_edges == 1
+
+    def test_tabs_and_spaces(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0\t1\t10\n2  3  20\n")
+        assert load_edgelist(path).num_edges == 2
+
+    def test_float_timestamps(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 10.5\n")
+        g = load_edgelist(path)
+        assert g.timestamps.tolist() == [10.5]
+
+    def test_gzip_roundtrip(self, tmp_path):
+        path = tmp_path / "g.txt.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("0 1 10\n1 2 20\n")
+        assert load_edgelist(path).num_edges == 2
+
+    def test_self_loop_policy_forwarded(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("5 5 1\n5 6 2\n")
+        g = load_edgelist(path)
+        assert g.num_edges == 1
+        assert g.num_self_loops_dropped == 1
+
+
+class TestMalformedInput:
+    def test_too_few_columns(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(GraphFormatError, match="expected 'u v t'"):
+            load_edgelist(path)
+
+    def test_non_integer_node(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("alice bob 10\n")
+        with pytest.raises(GraphFormatError, match="node ids must be integers"):
+            load_edgelist(path)
+
+    def test_bad_timestamp(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 noon\n")
+        with pytest.raises(GraphFormatError, match="timestamp"):
+            load_edgelist(path)
+
+    def test_error_reports_line_number(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 1\nbroken\n")
+        with pytest.raises(GraphFormatError, match=":2:"):
+            load_edgelist(path)
+
+    def test_iter_edge_records_lazy(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 1\nbroken\n")
+        records = iter_edge_records(path)
+        assert next(records) == (0, 1, 1)  # first record fine before error
+
+
+class TestSaving:
+    def test_roundtrip(self, tmp_path):
+        g = TemporalGraph([(0, 1, 5), (2, 3, 1), (1, 0, 5)])
+        path = tmp_path / "out.txt"
+        save_edgelist(g, path)
+        assert load_edgelist(path) == g
+
+    def test_gzip_write(self, tmp_path):
+        g = TemporalGraph([(0, 1, 5)])
+        path = tmp_path / "out.txt.gz"
+        save_edgelist(g, path)
+        assert load_edgelist(path) == g
+
+    def test_canonical_order_written(self, tmp_path):
+        g = TemporalGraph([(0, 1, 9), (1, 2, 3)])
+        path = tmp_path / "out.txt"
+        save_edgelist(g, path)
+        assert path.read_text().splitlines() == ["1 2 3", "0 1 9"]

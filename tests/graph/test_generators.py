@@ -1,0 +1,168 @@
+"""Tests for the synthetic temporal graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.graph import generators
+from repro.graph.statistics import reciprocity
+from repro.core.api import count_motifs
+from repro.core.motifs import MotifCategory
+
+
+class TestPowerlawGenerator:
+    def test_deterministic(self):
+        a = generators.powerlaw_temporal_graph(50, 500, seed=7)
+        b = generators.powerlaw_temporal_graph(50, 500, seed=7)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generators.powerlaw_temporal_graph(50, 500, seed=1)
+        b = generators.powerlaw_temporal_graph(50, 500, seed=2)
+        assert a != b
+
+    def test_edge_count_exact(self):
+        g = generators.powerlaw_temporal_graph(40, 777, seed=3)
+        assert g.num_edges == 777
+
+    def test_no_self_loops(self):
+        g = generators.powerlaw_temporal_graph(10, 2000, seed=5)
+        for u, v, _ in g.internal_edges():
+            assert u != v
+
+    def test_timestamps_within_span(self):
+        g = generators.powerlaw_temporal_graph(30, 400, span=100_000.0, seed=1)
+        assert g.timestamps.min() >= 0
+        assert g.timestamps.max() <= 100_000
+
+    def test_skew_increases_max_degree(self):
+        flat = generators.powerlaw_temporal_graph(200, 3000, skew=0.1, seed=9)
+        skewed = generators.powerlaw_temporal_graph(200, 3000, skew=1.4, seed=9)
+        assert skewed.degrees().max() > flat.degrees().max()
+
+    def test_reciprocity_knob(self):
+        low = generators.powerlaw_temporal_graph(
+            100, 3000, reciprocity=0.0, repeat=0.0, triadic=0.0, seed=4
+        )
+        high = generators.powerlaw_temporal_graph(
+            100, 3000, reciprocity=0.5, repeat=0.0, triadic=0.0, seed=4
+        )
+        assert reciprocity(high) > reciprocity(low)
+
+    def test_triadic_knob_controls_triangles(self):
+        none = generators.powerlaw_temporal_graph(
+            60, 2500, triadic=0.0, reciprocity=0.0, repeat=0.0,
+            session_duration=50.0, seed=11,
+        )
+        rich = generators.powerlaw_temporal_graph(
+            60, 2500, triadic=0.5, reciprocity=0.0, repeat=0.0,
+            session_duration=50.0, seed=11,
+        )
+        tri_none = count_motifs(none, 200).category_total(MotifCategory.TRIANGLE)
+        tri_rich = count_motifs(rich, 200).category_total(MotifCategory.TRIANGLE)
+        assert tri_rich > tri_none
+
+    def test_bipartite_has_no_triangles(self):
+        g = generators.powerlaw_temporal_graph(
+            80, 3000, bipartite_fraction=1.0, seed=13
+        )
+        counts = count_motifs(g, 10_000)
+        assert counts.category_total(MotifCategory.TRIANGLE) == 0
+
+    def test_bipartite_edges_one_direction_only(self):
+        g = generators.powerlaw_temporal_graph(
+            50, 1000, bipartite_fraction=1.0, seed=13
+        )
+        sources = {u for u, _, _ in g.internal_edges()}
+        targets = {v for _, v, _ in g.internal_edges()}
+        assert not (sources & targets)
+
+    def test_probability_validation(self):
+        with pytest.raises(ValidationError):
+            generators.powerlaw_temporal_graph(10, 10, reciprocity=1.5)
+        with pytest.raises(ValidationError):
+            generators.powerlaw_temporal_graph(10, 10, repeat=0.6, reciprocity=0.5)
+
+    def test_size_validation(self):
+        with pytest.raises(ValidationError):
+            generators.powerlaw_temporal_graph(1, 10)
+        with pytest.raises(ValidationError):
+            generators.powerlaw_temporal_graph(10, -1)
+        with pytest.raises(ValidationError):
+            generators.powerlaw_temporal_graph(10, 10, session_length=0.5)
+        with pytest.raises(ValidationError):
+            generators.powerlaw_temporal_graph(10, 10, session_duration=0)
+
+    def test_zero_edges(self):
+        g = generators.powerlaw_temporal_graph(10, 0, seed=1)
+        assert g.num_edges == 0
+
+
+class TestUniformGenerator:
+    def test_deterministic(self):
+        assert generators.uniform_temporal_graph(20, 100, seed=3) == \
+            generators.uniform_temporal_graph(20, 100, seed=3)
+
+    def test_counts(self):
+        g = generators.uniform_temporal_graph(20, 100, seed=3)
+        assert g.num_edges == 100
+        assert g.num_nodes <= 20
+
+    def test_no_self_loops(self):
+        g = generators.uniform_temporal_graph(5, 500, seed=2)
+        for u, v, _ in g.internal_edges():
+            assert u != v
+
+    def test_sorted_times(self):
+        g = generators.uniform_temporal_graph(10, 50, seed=1)
+        t = g.timestamps.tolist()
+        assert t == sorted(t)
+
+
+class TestMicrobenchmarkGenerators:
+    def test_star_burst_hub_degree(self):
+        g = generators.star_burst_graph(10, 3, seed=1)
+        assert g.degree(g.index(0)) == 30
+        assert g.num_edges == 30
+
+    def test_star_burst_validation(self):
+        with pytest.raises(ValidationError):
+            generators.star_burst_graph(1, 3)
+
+    def test_pair_burst_counts(self):
+        g = generators.pair_burst_graph(4, 5, seed=1)
+        assert g.num_edges == 20
+        assert g.num_nodes == 8
+
+    def test_pair_burst_is_pair_only(self):
+        g = generators.pair_burst_graph(3, 6, gap=1, seed=2)
+        counts = count_motifs(g, 100)
+        assert counts.category_total(MotifCategory.STAR) == 0
+        assert counts.category_total(MotifCategory.TRIANGLE) == 0
+        assert counts.category_total(MotifCategory.PAIR) > 0
+
+    def test_pair_burst_validation(self):
+        with pytest.raises(ValidationError):
+            generators.pair_burst_graph(0, 5)
+
+    def test_triangle_rich_counts(self):
+        g = generators.triangle_rich_graph(10, cyclic_fraction=1.0, seed=3)
+        counts = count_motifs(g, 5)
+        assert counts["M26"] == 10  # all cyclic triangles
+        assert counts.category_total(MotifCategory.TRIANGLE) == 10
+
+    def test_triangle_rich_acyclic(self):
+        g = generators.triangle_rich_graph(8, cyclic_fraction=0.0, seed=3)
+        counts = count_motifs(g, 5)
+        assert counts["M26"] == 0
+        assert counts["M15"] == 8
+
+    def test_triangle_rich_shared_nodes(self):
+        g = generators.triangle_rich_graph(20, shared_nodes=6, seed=4)
+        assert g.num_nodes <= 6
+
+    def test_triangle_rich_validation(self):
+        with pytest.raises(ValidationError):
+            generators.triangle_rich_graph(0)
+        with pytest.raises(ValidationError):
+            generators.triangle_rich_graph(3, cyclic_fraction=2.0)

@@ -1,0 +1,86 @@
+"""Tests for graph statistics (Table II / Fig. 9 support)."""
+
+import pytest
+
+from repro.graph.statistics import (
+    SECONDS_PER_DAY,
+    compute_statistics,
+    default_degree_threshold,
+    degree_distribution,
+    reciprocity,
+    top_k_degrees,
+)
+from repro.graph.temporal_graph import TemporalGraph
+
+
+@pytest.fixture
+def star5():
+    # hub 0 with 5 spokes, plus one reciprocated pair
+    return TemporalGraph(
+        [(0, i, i) for i in range(1, 6)] + [(1, 0, 10), (0, 1, 11)]
+    )
+
+
+class TestDegreeStatistics:
+    def test_degree_distribution(self, star5):
+        hist = degree_distribution(star5)
+        assert hist[7] == 1  # hub: 5 out + 1 in + 1 out
+        assert hist[1] == 4  # leaves 2..5
+
+    def test_top_k(self, star5):
+        assert top_k_degrees(star5, 2) == [7, 3]
+
+    def test_top_k_larger_than_n(self, star5):
+        assert len(top_k_degrees(star5, 100)) == star5.num_nodes
+
+    def test_top_k_zero(self, star5):
+        assert top_k_degrees(star5, 0) == []
+
+    def test_default_threshold_is_min_of_top20(self):
+        g = TemporalGraph([(0, i, i) for i in range(1, 25)])
+        # top-20 degrees: hub 24, then 19 leaves of degree 1
+        assert default_degree_threshold(g) == 1
+
+    def test_default_threshold_empty_graph(self):
+        assert default_degree_threshold(TemporalGraph([])) == 0
+
+
+class TestReciprocity:
+    def test_no_reciprocity(self):
+        g = TemporalGraph([(0, 1, 1), (1, 2, 2)])
+        assert reciprocity(g) == 0.0
+
+    def test_full_reciprocity(self):
+        g = TemporalGraph([(0, 1, 1), (1, 0, 2)])
+        assert reciprocity(g) == 1.0
+
+    def test_empty(self):
+        assert reciprocity(TemporalGraph([])) == 0.0
+
+
+class TestComputeStatistics:
+    def test_summary_fields(self, star5):
+        stats = compute_statistics(star5)
+        assert stats.num_nodes == 6
+        assert stats.num_edges == 7
+        assert stats.max_degree == 7
+        assert stats.time_span == 10  # t from 1 to 11
+        assert stats.time_span_days == pytest.approx(10 / SECONDS_PER_DAY)
+        assert stats.num_static_pairs == 5
+        assert 0 < stats.top10_degree_share <= 1.0
+
+    def test_empty_graph_statistics(self):
+        stats = compute_statistics(TemporalGraph([]))
+        assert stats.num_nodes == 0
+        assert stats.max_degree == 0
+        assert stats.mean_degree == 0.0
+        assert stats.top10_degree_share == 0.0
+
+    def test_table_row(self, star5):
+        name, nodes, edges, days = compute_statistics(star5).as_table_row("x")
+        assert (name, nodes, edges) == ("x", 6, 7)
+        assert days == round(10 / SECONDS_PER_DAY, 1)
+
+    def test_degree_histogram_sums_to_node_count(self, star5):
+        stats = compute_statistics(star5)
+        assert sum(stats.degree_histogram.values()) == star5.num_nodes

@@ -1,0 +1,118 @@
+"""Tests for the HARE parallel framework: exactness above all."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.api import count_motifs
+from repro.core.fast_star import count_star_pair
+from repro.core.fast_tri import count_triangle
+from repro.errors import ValidationError
+from repro.graph.generators import star_burst_graph
+from repro.graph.temporal_graph import TemporalGraph
+from repro.parallel.executor import run_batches
+from repro.parallel.hare import hare_count, hare_star_pair, hare_triangle
+from repro.parallel.scheduler import build_batches
+from tests.core.test_properties import deltas, temporal_graphs
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=temporal_graphs(max_edges=40), delta=deltas)
+def test_hare_equals_serial(graph, delta):
+    serial = count_motifs(graph, delta)
+    assert hare_count(graph, delta, workers=2) == serial
+
+
+@settings(max_examples=15, deadline=None)
+@given(graph=temporal_graphs(max_edges=30), delta=deltas)
+def test_hare_static_schedule_equals_serial(graph, delta):
+    serial = count_motifs(graph, delta)
+    assert hare_count(graph, delta, workers=2, schedule="static") == serial
+
+
+class TestConfigurations:
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    @pytest.mark.parametrize("thrd", [None, 0, 5, float("inf")])
+    def test_workers_and_thrd_grid(self, paper_graph, workers, thrd):
+        serial = count_motifs(paper_graph, 10)
+        assert hare_count(paper_graph, 10, workers=workers, thrd=thrd) == serial
+
+    def test_heavy_hub_graph(self):
+        g = star_burst_graph(30, 6, seed=4)
+        serial = count_motifs(g, 50)
+        assert hare_count(g, 50, workers=2, thrd=10) == serial
+
+    def test_categories_star(self, paper_graph):
+        result = hare_count(paper_graph, 10, workers=2, categories="star")
+        expected = count_motifs(paper_graph, 10, categories="star")
+        assert result == expected
+
+    def test_categories_pair(self, paper_graph):
+        result = hare_count(paper_graph, 10, workers=2, categories="pair")
+        expected = count_motifs(paper_graph, 10, categories="pair")
+        assert result == expected
+
+    def test_categories_triangle(self, paper_graph):
+        result = hare_count(paper_graph, 10, workers=2, categories="triangle")
+        expected = count_motifs(paper_graph, 10, categories="triangle")
+        assert result == expected
+
+    def test_metadata(self, paper_graph):
+        result = hare_count(paper_graph, 10, workers=2, schedule="static")
+        assert result.algorithm == "hare[2]"
+        assert result.meta["schedule"] == "static"
+
+    def test_negative_delta(self, paper_graph):
+        with pytest.raises(ValidationError):
+            hare_count(paper_graph, -1, workers=2)
+
+    def test_empty_graph(self):
+        assert hare_count(TemporalGraph([]), 10, workers=2).total() == 0
+
+
+class TestCategoryPasses:
+    def test_hare_star_pair_matches_serial(self, paper_graph):
+        star_s, pair_s = count_star_pair(paper_graph, 10)
+        star_p, pair_p = hare_star_pair(paper_graph, 10, workers=2)
+        assert star_p == star_s
+        assert pair_p == pair_s
+
+    def test_hare_triangle_matches_serial(self, paper_graph):
+        assert hare_triangle(paper_graph, 10, workers=2) == count_triangle(paper_graph, 10)
+
+
+class TestExecutor:
+    def test_run_batches_serial_path(self, paper_graph):
+        batches = build_batches(paper_graph, workers=1)
+        star, pair, tri = run_batches(paper_graph, 10, batches, workers=1)
+        star_s, pair_s = count_star_pair(paper_graph, 10)
+        assert star == star_s
+        assert pair == pair_s
+        assert tri == count_triangle(paper_graph, 10)
+
+    def test_star_pair_only(self, paper_graph):
+        batches = build_batches(paper_graph, workers=1)
+        star, pair, tri = run_batches(
+            paper_graph, 10, batches, workers=1, triangle=False
+        )
+        assert tri is None
+        assert star is not None
+
+    def test_triangle_only(self, paper_graph):
+        batches = build_batches(paper_graph, workers=1)
+        star, pair, tri = run_batches(
+            paper_graph, 10, batches, workers=1, star_pair=False
+        )
+        assert star is None and pair is None
+        assert tri == count_triangle(paper_graph, 10)
+
+    def test_invalid_schedule(self, paper_graph):
+        with pytest.raises(ValidationError):
+            run_batches(paper_graph, 10, [], workers=1, schedule="guided")
+
+    def test_invalid_workers(self, paper_graph):
+        with pytest.raises(ValidationError):
+            run_batches(paper_graph, 10, [], workers=0)
+
+    def test_oversubscription_is_exact(self, paper_graph):
+        serial = count_motifs(paper_graph, 10)
+        assert hare_count(paper_graph, 10, workers=6) == serial

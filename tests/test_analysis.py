@@ -1,0 +1,80 @@
+"""Tests for the motif-significance analysis layer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import MotifSignificance, motif_significance, time_shuffled_null
+from repro.core.api import count_motifs
+from repro.errors import ValidationError
+from repro.graph import generators
+from repro.graph.temporal_graph import TemporalGraph
+
+
+class TestNullModel:
+    def test_preserves_static_structure(self, paper_graph):
+        null = time_shuffled_null(paper_graph, seed=1)
+        original_pairs = sorted((u, v) for u, v, _ in paper_graph.edges())
+        null_pairs = sorted((u, v) for u, v, _ in null.edges())
+        assert original_pairs == null_pairs
+
+    def test_preserves_timestamp_multiset(self, paper_graph):
+        null = time_shuffled_null(paper_graph, seed=1)
+        assert sorted(paper_graph.timestamps.tolist()) == sorted(null.timestamps.tolist())
+
+    def test_deterministic(self, paper_graph):
+        assert time_shuffled_null(paper_graph, 7) == time_shuffled_null(paper_graph, 7)
+
+    def test_seeds_differ(self, paper_graph):
+        a = time_shuffled_null(paper_graph, 1)
+        b = time_shuffled_null(paper_graph, 2)
+        assert a != b
+
+    def test_empty_graph(self):
+        assert time_shuffled_null(TemporalGraph([]), 0).num_edges == 0
+
+
+class TestSignificance:
+    def test_bursty_graph_has_positive_surplus(self):
+        # session-structured traffic has far more within-δ motifs than
+        # its time-shuffled null spread over the full span
+        g = generators.powerlaw_temporal_graph(
+            50, 2500, span=10_000_000.0, reciprocity=0.3, seed=3
+        )
+        sig = motif_significance(g, 600, num_null=5, seed=0)
+        observed_total = sum(sig.observed.values())
+        null_total = sum(sig.null_mean.values())
+        assert observed_total > null_total
+
+    def test_zscore_zero_variance(self):
+        sig = MotifSignificance(
+            observed={"M55": 5},
+            null_mean={"M55": 5.0},
+            null_std={"M55": 0.0},
+            num_null=3,
+        )
+        assert sig.zscore("M55") == 0.0
+
+    def test_zscores_cover_all_motifs(self, paper_graph):
+        sig = motif_significance(paper_graph, 10, num_null=3)
+        assert len(sig.zscores()) == 36
+
+    def test_top_k(self, paper_graph):
+        sig = motif_significance(paper_graph, 10, num_null=3)
+        top = sig.top(4)
+        assert len(top) == 4
+        scores = sig.zscores()
+        assert abs(scores[top[0]]) >= abs(scores[top[-1]])
+
+    def test_significance_profile_normalised(self, paper_graph):
+        sig = motif_significance(paper_graph, 10, num_null=3)
+        profile = sig.significance_profile()
+        norm = np.linalg.norm(list(profile.values()))
+        assert norm == pytest.approx(1.0, abs=1e-9) or norm == 0.0
+
+    def test_validation(self, paper_graph):
+        with pytest.raises(ValidationError):
+            motif_significance(paper_graph, 10, num_null=0)
+
+    def test_observed_matches_count_motifs(self, paper_graph):
+        sig = motif_significance(paper_graph, 10, num_null=2)
+        assert sig.observed == count_motifs(paper_graph, 10).per_motif()

@@ -1,0 +1,96 @@
+"""Smoke tests for the benchmark harness and experiment drivers.
+
+Drivers run at tiny scale so the full suite stays fast; shape
+assertions (who wins) are left to the benchmark runs themselves.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_fig12a,
+    run_fig12b,
+    run_table2,
+    run_table3,
+    EXPERIMENTS,
+)
+from repro.bench.harness import BenchTimer, format_seconds, format_table, time_call
+from repro.errors import ValidationError
+
+
+class TestHarness:
+    def test_time_call_positive(self):
+        assert time_call(lambda: sum(range(100))) > 0
+
+    def test_time_call_repeat_validation(self):
+        with pytest.raises(ValidationError):
+            time_call(lambda: None, repeat=0)
+
+    def test_bench_timer_speedup(self):
+        timer = BenchTimer()
+        timer.timings["a"] = 2.0
+        timer.timings["b"] = 0.5
+        assert timer.speedup("a", "b") == 4.0
+
+    def test_bench_timer_zero_division(self):
+        timer = BenchTimer()
+        timer.timings["a"] = 1.0
+        timer.timings["b"] = 0.0
+        assert timer.speedup("a", "b") == float("inf")
+
+    def test_format_table_alignment(self):
+        text = format_table(["x", "y"], [["a", 1.5], ["bb", 0.25]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "1.50" in text
+        assert "0.2500" in text
+
+    def test_format_seconds(self):
+        assert format_seconds(None) == "-"
+        assert format_seconds(123.4) == "123"
+        assert format_seconds(1.234) == "1.23"
+        assert format_seconds(0.01234) == "0.0123"
+
+
+class TestDrivers:
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "table2", "table3", "fig9", "fig10", "fig11", "fig12a", "fig12b"
+        }
+
+    def test_table2(self):
+        result = run_table2(scale=0.02, datasets=["collegemsg", "bitcoinalpha"])
+        assert len(result.rows) == 2
+        assert "Table II" in result.render()
+
+    def test_fig9(self):
+        result = run_fig9(dataset="collegemsg", scale=0.2, sample_per_bucket=5)
+        assert result.rows
+        assert "degree" in result.headers[0]
+        assert result.data["bucket_totals"]
+
+    def test_fig10_matrices_identical(self):
+        result = run_fig10(datasets=["collegemsg"], scale=0.1)
+        assert result.data["all_equal"] is True
+        assert "FAST counts" in result.render()
+
+    def test_table3(self):
+        result = run_table3(datasets=["collegemsg"], scale=0.08)
+        assert len(result.rows) == 1
+        assert result.data["speedups"]["fast"]
+
+    def test_fig11(self):
+        result = run_fig11(datasets=["collegemsg"], workers=(1, 2), scale=0.08)
+        series = result.data["series"]["collegemsg"]
+        assert len(series["HARE"]) == 2
+
+    def test_fig12a(self):
+        result = run_fig12a(datasets=["collegemsg"], deltas=(600, 1200), workers=1, scale=0.08)
+        assert len(result.rows) == 2  # HARE + EX rows
+
+    def test_fig12b(self):
+        result = run_fig12b(dataset="collegemsg", workers=(1, 2), scale=0.08)
+        assert len(result.rows) == 6
+        assert result.data["base_thrd"] >= 0

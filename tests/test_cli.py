@@ -1,0 +1,117 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graph.edgelist import save_edgelist
+from repro.graph.temporal_graph import TemporalGraph
+
+
+@pytest.fixture
+def edge_file(tmp_path, paper_graph):
+    # relabel to ints for SNAP round-trip
+    g = TemporalGraph([(u, v, t) for u, v, t in paper_graph.internal_edges()])
+    path = tmp_path / "graph.txt"
+    save_edgelist(g, path)
+    return str(path)
+
+
+class TestCount:
+    def test_count_from_file(self, edge_file, capsys):
+        assert main(["count", "--input", edge_file, "--delta", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "total=27" in out
+
+    def test_count_json(self, edge_file, capsys):
+        assert main(["count", "--input", edge_file, "--delta", "10", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total"] == 27
+        assert payload["counts"]["M63"] == 1
+        assert payload["algorithm"] == "fast"
+
+    def test_count_dataset(self, capsys):
+        assert main(
+            ["count", "--dataset", "collegemsg", "--scale", "0.05", "--delta", "600"]
+        ) == 0
+        assert "total=" in capsys.readouterr().out
+
+    def test_count_ex_algorithm(self, edge_file, capsys):
+        assert main(
+            ["count", "--input", edge_file, "--delta", "10", "--algorithm", "ex", "--json"]
+        ) == 0
+        assert json.loads(capsys.readouterr().out)["total"] == 27
+
+    def test_count_parallel(self, edge_file, capsys):
+        assert main(
+            ["count", "--input", edge_file, "--delta", "10", "--workers", "2", "--json"]
+        ) == 0
+        assert json.loads(capsys.readouterr().out)["total"] == 27
+
+    def test_count_categories(self, edge_file, capsys):
+        assert main(
+            ["count", "--input", edge_file, "--delta", "10",
+             "--categories", "triangle", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["M26"] == 1
+        assert payload["counts"]["M55"] == 0
+
+    def test_missing_source_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["count", "--delta", "10"])
+
+
+class TestGenerateAndStats:
+    def test_generate_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "gen.txt"
+        assert main(
+            ["generate", "--dataset", "collegemsg", "--scale", "0.02", "--out", str(out)]
+        ) == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_generate_then_count_round_trip(self, tmp_path, capsys):
+        out = tmp_path / "gen.txt"
+        main(["generate", "--dataset", "bitcoinalpha", "--scale", "0.05", "--out", str(out)])
+        capsys.readouterr()
+        assert main(["count", "--input", str(out), "--delta", "600", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total"] >= 0
+
+    def test_stats(self, edge_file, capsys):
+        assert main(["stats", "--input", edge_file]) == 0
+        out = capsys.readouterr().out
+        assert "nodes:            5" in out
+        assert "temporal edges:   12" in out
+
+    def test_stats_dataset(self, capsys):
+        assert main(["stats", "--dataset", "collegemsg", "--scale", "0.05"]) == 0
+        assert "reciprocity" in capsys.readouterr().out
+
+
+class TestBenchAndList:
+    def test_list_datasets(self, capsys):
+        assert main(["list-datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "collegemsg" in out
+        assert "redditcomments" in out
+
+    def test_bench_table2(self, capsys, tmp_path):
+        out_file = tmp_path / "t2.txt"
+        assert main(["bench", "table2", "--scale", "0.02", "--out", str(out_file)]) == 0
+        assert "Table II" in capsys.readouterr().out
+        assert out_file.exists()
+
+    def test_bench_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "table7"])
+
+
+class TestErrors:
+    def test_graph_format_error_is_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("not an edge list\n")
+        assert main(["count", "--input", str(bad), "--delta", "10"]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,86 @@
+"""Cross-module integration tests on dataset-scale graphs.
+
+These run the real pipeline end to end at reduced dataset scale:
+generator → graph → all exact engines → identical grids, plus the
+public-API paths the examples and CLI rely on.
+"""
+
+import pytest
+
+from repro import TemporalGraph, count_motifs, load_dataset
+from repro.baselines import bt_count, ex_count, twoscent_count_cycles
+from repro.core.bruteforce import brute_force_counts
+from repro.core.motifs import MotifCategory
+from repro.graph.edgelist import load_edgelist, save_edgelist
+from repro.parallel.hare import hare_count
+
+DELTA = 600
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    return load_dataset("collegemsg", scale=0.15, cache=False)
+
+
+class TestEngineAgreementOnDatasets:
+    def test_fast_ex_hare_agree(self, small_dataset):
+        fast = count_motifs(small_dataset, DELTA)
+        assert ex_count(small_dataset, DELTA) == fast
+        assert hare_count(small_dataset, DELTA, workers=2) == fast
+        assert fast.total() > 0
+
+    def test_bt_agrees(self, small_dataset):
+        # BT on all 36 motifs is slow; shrink further
+        graph = load_dataset("collegemsg", scale=0.05, cache=False)
+        assert bt_count(graph, DELTA) == count_motifs(graph, DELTA)
+
+    def test_twoscent_agrees_on_m26(self, small_dataset):
+        fast = count_motifs(small_dataset, DELTA)
+        assert twoscent_count_cycles(small_dataset, DELTA) == fast["M26"]
+
+    def test_ex_parallel_agrees(self, small_dataset):
+        fast = count_motifs(small_dataset, DELTA)
+        assert ex_count(small_dataset, DELTA, workers=2) == fast
+
+    def test_bruteforce_agrees_tiny(self):
+        graph = load_dataset("collegemsg", scale=0.01, cache=False)
+        assert brute_force_counts(graph, DELTA) == count_motifs(graph, DELTA)
+
+
+class TestFileRoundTripPipeline:
+    def test_generate_save_load_count(self, tmp_path, small_dataset):
+        path = tmp_path / "dataset.txt"
+        relabelled = TemporalGraph(
+            [(u, v, t) for u, v, t in small_dataset.internal_edges()]
+        )
+        save_edgelist(relabelled, path)
+        reloaded = load_edgelist(path)
+        assert count_motifs(reloaded, DELTA) == count_motifs(small_dataset, DELTA)
+
+
+class TestBipartiteDatasets:
+    @pytest.mark.parametrize("name", ["rec_movielens", "ia_online_ads", "act_mooc"])
+    def test_no_triangles_ever(self, name):
+        graph = load_dataset(name, scale=0.1, cache=False)
+        counts = count_motifs(graph, DELTA)
+        assert counts.category_total(MotifCategory.TRIANGLE) == 0
+
+    def test_bipartite_has_star_structure(self):
+        graph = load_dataset("rec_movielens", scale=0.1, cache=False)
+        counts = count_motifs(graph, DELTA)
+        assert counts.category_total(MotifCategory.STAR) > 0
+
+
+class TestDeltaSemanticsAtScale:
+    def test_delta_monotone_on_dataset(self, small_dataset):
+        small = count_motifs(small_dataset, 300)
+        large = count_motifs(small_dataset, 1200)
+        assert large.total() >= small.total()
+        assert (large.grid >= small.grid).all()
+
+    def test_category_selection_consistent(self, small_dataset):
+        full = count_motifs(small_dataset, DELTA)
+        star = count_motifs(small_dataset, DELTA, categories="star")
+        pair = count_motifs(small_dataset, DELTA, categories="pair")
+        tri = count_motifs(small_dataset, DELTA, categories="triangle")
+        assert star.total() + pair.total() + tri.total() == full.total()
