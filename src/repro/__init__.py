@@ -8,14 +8,43 @@ experiments from the paper's evaluation.
 
 Quickstart
 ----------
->>> from repro import TemporalGraph, count_motifs
+Every counting backend — FAST/HARE and the paper's five baselines —
+is reachable through one registry-dispatched entry point:
+
+>>> from repro import TemporalGraph, count_motifs, available_algorithms
+>>> available_algorithms()
+('fast', 'ex', 'bruteforce', 'bt', 'twoscent', 'bts', 'ews')
 >>> g = TemporalGraph([(0, 1, 4), (0, 1, 8), (2, 0, 9)])
->>> counts = count_motifs(g, delta=10)
+>>> counts = count_motifs(g, delta=10)          # FAST (exact, default)
 >>> counts["M63"]
 1
+
+Sampling estimators return the same :class:`MotifCounts` shape with
+uncertainty attached — replicate averaging fills a ``stderr`` grid and
+per-motif confidence intervals:
+
+>>> est = count_motifs(g, delta=10, algorithm="ews", p=1.0, n_samples=3)
+>>> est.is_exact
+False
+>>> lo, hi = est.confidence_interval("M63")     # 95% CI
+
+Multi-δ / multi-algorithm batches go through one call:
+
+>>> sweep = count_motifs_sweep(g, deltas=[5, 10], algorithms=["fast", "ex"])
+>>> sweep.get("ex", 10)["M63"]
+1
+
+Adding a backend is one decorated function — see
+:func:`repro.core.registry.register_algorithm` and docs/extending.md.
 """
 
-from repro.core.api import count_motifs
+from repro.core.api import count_motifs, count_motifs_sweep, SweepResult
+from repro.core.registry import (
+    AlgorithmSpec,
+    CountRequest,
+    available_algorithms,
+    register_algorithm,
+)
 from repro.core.counters import MotifCounts, PairCounter, StarCounter, TriangleCounter
 from repro.core.motifs import ALL_MOTIFS, GRID, MOTIFS_BY_NAME, Motif, MotifCategory
 from repro.core.patterns import HIGHER_ORDER_PATTERNS, count_higher_order
@@ -36,6 +65,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "count_motifs",
+    "count_motifs_sweep",
+    "SweepResult",
+    "CountRequest",
+    "AlgorithmSpec",
+    "register_algorithm",
+    "available_algorithms",
     "count_higher_order",
     "HIGHER_ORDER_PATTERNS",
     "motif_significance",

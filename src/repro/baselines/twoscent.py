@@ -207,3 +207,28 @@ def twoscent_count_cycles(
         for cycle in enumerate_cycles(graph, delta, max_length=max_length, min_length=length)
         if len(cycle) == length
     )
+
+
+def twoscent_count(
+    graph: TemporalGraph,
+    delta: float,
+    *,
+    enumerate_all_lengths: bool = False,
+) -> "MotifCounts":
+    """2SCENT-Tri as a grid result: the M26 count in a ``MotifCounts``.
+
+    2SCENT can only detect the cyclic triangle motif M26 (§V-E), so
+    every other cell is zero; the registry adapter uses this wrapper so
+    2SCENT is interchangeable with the full-grid algorithms.
+    """
+    from repro.core.counters import MotifCounts
+
+    cycles = twoscent_count_cycles(
+        graph, delta, length=3, enumerate_all_lengths=enumerate_all_lengths
+    )
+    return MotifCounts.from_dict(
+        {"M26": cycles},
+        algorithm="twoscent",
+        delta=delta,
+        meta={"coverage": "M26 only; all other cells are uncounted, not zero"},
+    )

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.bench.harness import BenchTimer, format_table, time_call
-from repro.core.api import count_motifs
+from repro.core.api import count_motifs, count_motifs_sweep
 from repro.core.fast_star import count_star_pair, scan_center as star_scan
 from repro.core.fast_tri import count_triangle, scan_center as tri_scan
 from repro.baselines.exact_ex import ex_count
@@ -189,7 +189,7 @@ def run_fig10(
     for name in datasets:
         graph = load_dataset(name, scale)
         fast = count_motifs(graph, delta, algorithm="fast")
-        ex = ex_count(graph, delta)
+        ex = count_motifs(graph, delta, algorithm="ex")
         equal = fast == ex
         all_equal = all_equal and equal
         result.rows.append([name, f"{fast.total():,}", str(equal)])
@@ -352,15 +352,17 @@ def run_fig12a(
     for name in datasets:
         graph = load_dataset(name, scale)
         graph.ensure_pair_index()
-        hare_row: List[object] = [f"HARE-{name}"]
-        ex_row: List[object] = [f"EX-{name}"]
-        for delta in deltas:
-            hare_row.append(time_call(lambda: hare_count(graph, delta, workers=workers)))
-            ex_row.append(time_call(lambda: ex_count(graph, delta, workers=workers)))
-        result.rows.append(hare_row)
-        result.rows.append(ex_row)
-        series[f"HARE-{name}"] = [v for v in hare_row[1:]]  # type: ignore[misc]
-        series[f"EX-{name}"] = [v for v in ex_row[1:]]  # type: ignore[misc]
+        # One registry sweep covers the whole (algorithm × δ) panel;
+        # each result carries its own elapsed_seconds.
+        sweep = count_motifs_sweep(
+            graph, list(deltas), algorithms=("fast", "ex"), workers=workers
+        )
+        hare_timings = sweep.elapsed("fast")
+        ex_timings = sweep.elapsed("ex")
+        result.rows.append([f"HARE-{name}"] + list(hare_timings))
+        result.rows.append([f"EX-{name}"] + list(ex_timings))
+        series[f"HARE-{name}"] = hare_timings
+        series[f"EX-{name}"] = ex_timings
     result.data["series"] = series
     return result
 

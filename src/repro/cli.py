@@ -12,6 +12,12 @@ Subcommands
     Run one of the paper's experiments (table2/table3/fig9..fig12b).
 ``list-datasets``
     Show the sixteen registry datasets.
+``list-algorithms``
+    Show every registered counting algorithm and its capabilities.
+
+Algorithm choices, sampling flags, and the help epilog all come from
+the pluggable registry (:mod:`repro.core.registry`), so a newly
+registered algorithm is immediately selectable here.
 """
 
 from __future__ import annotations
@@ -22,7 +28,8 @@ import sys
 from typing import List, Optional
 
 from repro.bench.experiments import EXPERIMENTS
-from repro.core.api import ALGORITHMS, CATEGORIES, count_motifs
+from repro.core.api import CATEGORIES, count_motifs
+from repro.core.registry import algorithm_specs, available_algorithms
 from repro.errors import ReproError
 from repro.graph.datasets import REGISTRY, load_dataset
 from repro.graph.edgelist import load_edgelist, save_edgelist
@@ -56,21 +63,55 @@ def _cmd_count(args: argparse.Namespace) -> int:
         workers=args.workers,
         thrd=args.thrd,
         schedule=args.schedule,
+        seed=args.seed,
+        n_samples=args.n_samples,
     )
     if args.json:
         payload = {
             "algorithm": counts.algorithm,
             "delta": args.delta,
             "elapsed_seconds": counts.elapsed_seconds,
+            "is_exact": counts.is_exact,
             "total": counts.total(),
             "counts": counts.per_motif(),
         }
+        if counts.stderr is not None:
+            payload["stderr"] = {
+                name: counts.stderr_of(name) for name in counts.per_motif()
+            }
+            payload["n_samples"] = counts.meta.get("n_samples")
+            payload["total_stderr"] = counts.meta.get("total_stderr")
+        if "coverage" in counts.meta:
+            payload["coverage"] = counts.meta["coverage"]
         print(json.dumps(payload, indent=2))
     else:
         print(counts.to_text(
             f"{counts.algorithm} δ={args.delta} "
             f"total={counts.total():,} ({counts.elapsed_seconds:.2f}s)"
         ))
+        if "coverage" in counts.meta:
+            print(f"coverage: {counts.meta['coverage']}")
+        if not counts.is_exact:
+            # Grid cells of one replicate are correlated, so the CI on
+            # the total uses the replicate-total stderr the dispatcher
+            # records, not per-cell stderrs added in quadrature.  A
+            # single draw has no stderr: say so instead of printing a
+            # zero-width interval.
+            total_stderr = counts.meta.get("total_stderr")
+            line = (
+                f"sampling estimate over {counts.meta.get('n_samples', 1)} "
+                "replicate(s); "
+            )
+            if total_stderr is None:
+                line += "CI unavailable (single replicate)"
+            else:
+                se = float(total_stderr)
+                total = float(counts.total())
+                line += (
+                    f"95% CI on total: "
+                    f"[{total - 1.96 * se:,.1f}, {total + 1.96 * se:,.1f}]"
+                )
+            print(line)
     return 0
 
 
@@ -119,22 +160,39 @@ def _cmd_list_datasets(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_list_algorithms(_: argparse.Namespace) -> int:
+    for spec in algorithm_specs():
+        print(spec.describe())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
+    algorithms = available_algorithms()
+    epilog = "registered algorithms:\n" + "\n".join(
+        f"  {spec.describe()}" for spec in algorithm_specs()
+    )
     parser = argparse.ArgumentParser(
         prog="repro-motifs",
         description="HARE/FAST temporal motif counting (ICDE 2022 reproduction)",
+        epilog=epilog,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_count = sub.add_parser("count", help="count δ-temporal motifs")
     _add_graph_source(p_count)
     p_count.add_argument("--delta", type=float, required=True, help="time window δ")
-    p_count.add_argument("--algorithm", choices=ALGORITHMS, default="fast")
+    p_count.add_argument("--algorithm", choices=algorithms, default="fast")
     p_count.add_argument("--categories", choices=CATEGORIES, default="all")
     p_count.add_argument("--workers", type=int, default=1)
     p_count.add_argument("--thrd", type=float, default=None,
                          help="HARE degree threshold (default: paper's top-20 rule)")
     p_count.add_argument("--schedule", choices=("dynamic", "static"), default="dynamic")
+    p_count.add_argument("--seed", type=int, default=None,
+                         help="RNG seed for sampling algorithms (default 0)")
+    p_count.add_argument("--n-samples", type=int, default=None,
+                         help="sampling replicates to average (sampling "
+                              "algorithms only; default 3, stderr across them)")
     p_count.add_argument("--json", action="store_true", help="emit JSON")
     p_count.set_defaults(func=_cmd_count)
 
@@ -157,6 +215,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_list = sub.add_parser("list-datasets", help="show the dataset registry")
     p_list.set_defaults(func=_cmd_list_datasets)
+
+    p_algos = sub.add_parser(
+        "list-algorithms", help="show registered counting algorithms"
+    )
+    p_algos.set_defaults(func=_cmd_list_algorithms)
     return parser
 
 

@@ -22,7 +22,15 @@ from repro.core.counters import (
 )
 from repro.core.fast_star import count_star_pair
 from repro.core.fast_tri import count_triangle
-from repro.core.api import count_motifs
+from repro.core.registry import (
+    AlgorithmSpec,
+    CountRequest,
+    available_algorithms,
+    execute,
+    register_algorithm,
+    unregister_algorithm,
+)
+from repro.core.api import count_motifs, count_motifs_sweep, SweepResult
 from repro.core.bruteforce import brute_force_counts
 
 __all__ = [
@@ -40,5 +48,13 @@ __all__ = [
     "count_star_pair",
     "count_triangle",
     "count_motifs",
+    "count_motifs_sweep",
+    "SweepResult",
+    "AlgorithmSpec",
+    "CountRequest",
+    "available_algorithms",
+    "execute",
+    "register_algorithm",
+    "unregister_algorithm",
     "brute_force_counts",
 ]

@@ -1,60 +1,88 @@
-"""Unified counting entry point.
+"""Unified counting entry point, dispatching over the algorithm registry.
 
-:func:`count_motifs` is the one-call public API: it runs the requested
-algorithm (FAST by default), assembles the 6×6 grid, and records
-timing metadata.  Parallel execution routes through
-:mod:`repro.parallel.hare`; baseline algorithms route through
-:mod:`repro.baselines`.
+:func:`count_motifs` is the one-call public API.  Since the registry
+redesign it is a thin shim: the keyword signature (kept for
+compatibility with every pre-registry call site) is packed into a
+:class:`~repro.core.registry.CountRequest` and handed to
+:func:`~repro.core.registry.execute`, which dispatches to whichever
+:func:`~repro.core.registry.register_algorithm`-decorated backend the
+request names — the paper's FAST/HARE or any of the six baselines.
+
+:func:`count_motifs_sweep` batches the multi-δ / multi-algorithm grid
+of runs every benchmark needs, returning a :class:`SweepResult`.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.counters import MotifCounts
-from repro.core.fast_star import count_star_pair
-from repro.core.fast_tri import count_triangle
+from repro.core.registry import (
+    CATEGORIES,
+    CountRequest,
+    available_algorithms,
+    execute,
+)
 from repro.errors import ValidationError
 from repro.graph.temporal_graph import TemporalGraph
 
-#: Algorithms selectable through :func:`count_motifs`.
-ALGORITHMS = ("fast", "ex", "bruteforce")
+def __getattr__(name: str):
+    # Compatibility: ``from repro.core.api import ALGORITHMS`` resolves
+    # lazily to the live registry (PEP 562), so importing repro does not
+    # force adapter registration and later registrations are visible.
+    if name == "ALGORITHMS":
+        return available_algorithms()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
-#: Motif-category selections.
-CATEGORIES = ("all", "star", "pair", "triangle", "star_pair")
+
+__all__ = [
+    "ALGORITHMS",
+    "CATEGORIES",
+    "SweepResult",
+    "count_motifs",
+    "count_motifs_sweep",
+]
 
 
 def count_motifs(
-    graph: TemporalGraph,
-    delta: float,
+    graph: Union[TemporalGraph, CountRequest],
+    delta: Optional[float] = None,
     *,
     algorithm: str = "fast",
     categories: str = "all",
     workers: int = 1,
-    thrd: Optional[int] = None,
+    thrd: Optional[float] = None,
     schedule: str = "dynamic",
+    seed: Optional[int] = None,
+    n_samples: Optional[int] = None,
+    **params: object,
 ) -> MotifCounts:
     """Count 2- and 3-node, 3-edge δ-temporal motifs (Problem 1).
 
     Parameters
     ----------
     graph:
-        Input temporal graph.
+        Input temporal graph — or a ready-made
+        :class:`~repro.core.registry.CountRequest`, in which case every
+        other argument must be left at its default.
     delta:
         Time constraint δ, in the timestamps' unit.
     algorithm:
-        ``"fast"`` (the paper's FAST-Star + FAST-Tri, default),
-        ``"ex"`` (the Paranjape et al. baseline), or ``"bruteforce"``
-        (reference enumeration; small graphs only).
+        Any registered algorithm name: ``"fast"`` (the paper's
+        FAST-Star + FAST-Tri, default), ``"ex"``, ``"bruteforce"``,
+        ``"bt"``, ``"twoscent"``, or the sampling estimators ``"bts"``
+        and ``"ews"``.  See
+        :func:`repro.core.registry.available_algorithms`.
     categories:
         Restrict counting to ``"star"``, ``"pair"``, ``"triangle"`` or
         ``"star_pair"``; ``"all"`` (default) counts everything.  Cells
         outside the selection are zero in the returned grid.
     workers:
-        Degree of parallelism.  ``1`` runs serially in-process;
-        ``> 1`` runs the HARE hierarchical parallel framework (FAST)
-        or the time-slab parallel variant (EX).
+        Degree of parallelism.  ``1`` runs serially in-process; ``> 1``
+        runs the algorithm's parallel mode (HARE for FAST, time slabs
+        for EX, block farming for BTS) and is rejected for
+        serial-only algorithms.
     thrd:
         HARE's degree threshold for intra-node parallelism.  ``None``
         uses the paper's default: the minimum degree among the top-20
@@ -62,86 +90,152 @@ def count_motifs(
     schedule:
         ``"dynamic"`` (default) or ``"static"`` task scheduling, the
         OpenMP analogy of §IV-C.
+    seed:
+        RNG seed for sampling algorithms (default 0).
+    n_samples:
+        Sampling algorithms only: number of independent replicates to
+        average (default 3); the result's ``stderr`` grid holds the
+        standard error of the mean across replicates.
+    params:
+        Algorithm-specific extras declared in the registry, e.g.
+        ``q=0.3, window_factor=5.0`` for BTS or ``p=0.01, q=1.0`` for
+        EWS.
 
     Returns
     -------
     MotifCounts
-        Exact counts (for exact algorithms) with ``elapsed_seconds``
-        and algorithm metadata filled in.
+        The unified result: counts with ``is_exact``, ``stderr`` (for
+        sampling algorithms), ``elapsed_seconds``, ``phase_seconds``
+        and provenance metadata filled in.
     """
-    if algorithm not in ALGORITHMS:
-        raise ValidationError(f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}")
-    if categories not in CATEGORIES:
-        raise ValidationError(f"unknown categories {categories!r}; choose from {CATEGORIES}")
-    if workers < 1:
-        raise ValidationError(f"workers must be >= 1, got {workers}")
-    if delta < 0:
-        raise ValidationError(f"delta must be non-negative, got {delta}")
+    if isinstance(graph, CountRequest):
+        overrides = {
+            "delta": delta is not None,
+            "algorithm": algorithm != "fast",
+            "categories": categories != "all",
+            "workers": workers != 1,
+            "thrd": thrd is not None,
+            "schedule": schedule != "dynamic",
+            "seed": seed is not None,
+            "n_samples": n_samples is not None,
+            "params": bool(params),
+        }
+        given = sorted(name for name, set_ in overrides.items() if set_)
+        if given:
+            raise ValidationError(
+                f"count_motifs(request) takes no other arguments (got {given}); "
+                "set them on the CountRequest instead"
+            )
+        return execute(graph)
+    request = CountRequest(
+        graph=graph,
+        delta=delta,
+        algorithm=algorithm,
+        categories=categories,
+        workers=workers,
+        thrd=thrd,
+        schedule=schedule,
+        seed=seed,
+        n_samples=n_samples,
+        params=dict(params),
+    )
+    return execute(request)
 
-    start = time.perf_counter()
-    if algorithm == "bruteforce":
-        result = _bruteforce(graph, delta, categories)
-    elif algorithm == "ex":
-        result = _ex(graph, delta, categories, workers)
-    elif workers == 1:
-        result = _fast_serial(graph, delta, categories)
-    else:
-        from repro.parallel.hare import hare_count
 
-        result = hare_count(
-            graph,
-            delta,
-            workers=workers,
-            thrd=thrd,
-            schedule=schedule,
-            categories=categories,
+@dataclass
+class SweepResult:
+    """Results of a multi-δ / multi-algorithm sweep.
+
+    Iterates in run order (algorithms outer, deltas inner); lookup by
+    ``(algorithm, delta)`` via :meth:`get`.
+    """
+
+    keys: List[Tuple[str, float]] = field(default_factory=list)
+    results: List[MotifCounts] = field(default_factory=list)
+
+    def add(self, algorithm: str, delta: float, result: MotifCounts) -> None:
+        self.keys.append((algorithm, delta))
+        self.results.append(result)
+
+    def get(self, algorithm: str, delta: float) -> MotifCounts:
+        """The result of one (algorithm, δ) cell of the sweep."""
+        for key, result in zip(self.keys, self.results):
+            if key == (algorithm, delta):
+                return result
+        raise ValidationError(
+            f"no sweep result for ({algorithm!r}, {delta!r}); ran {self.keys}"
         )
-    result.elapsed_seconds = time.perf_counter() - start
-    result.delta = delta
-    return result
+
+    def elapsed(self, algorithm: str) -> List[float]:
+        """Wall-clock seconds of one algorithm's runs, in δ order."""
+        return [
+            result.elapsed_seconds
+            for key, result in zip(self.keys, self.results)
+            if key[0] == algorithm
+        ]
+
+    def __iter__(self) -> Iterator[MotifCounts]:
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
 
 
-def _fast_serial(graph: TemporalGraph, delta: float, categories: str) -> MotifCounts:
-    star = pair = triangle = None
-    if categories in ("all", "star", "pair", "star_pair"):
-        star, pair = count_star_pair(graph, delta)
-        if categories == "star":
-            pair = None
-        elif categories == "pair":
-            star = None
-    if categories in ("all", "triangle"):
-        triangle = count_triangle(graph, delta)
-    return MotifCounts.from_counters(star, pair, triangle, algorithm="fast")
+def count_motifs_sweep(
+    graph: TemporalGraph,
+    deltas: Sequence[float],
+    algorithms: Sequence[str] = ("fast",),
+    *,
+    categories: str = "all",
+    workers: int = 1,
+    thrd: Optional[float] = None,
+    schedule: str = "dynamic",
+    seed: Optional[int] = None,
+    n_samples: Optional[int] = None,
+    **params: object,
+) -> SweepResult:
+    """Run every (algorithm, δ) combination and collect the results.
 
+    This is the batch shape the ``bench_*`` experiments need — one
+    graph, several δ values, several algorithms — without hand-rolled
+    double loops.  Algorithm-specific ``params`` are forwarded only to
+    the algorithms that declare them, so mixed sweeps like
+    ``algorithms=("fast", "bts"), q=0.5`` work.
+    """
+    from repro.core.registry import get_algorithm
 
-def _bruteforce(graph: TemporalGraph, delta: float, categories: str) -> MotifCounts:
-    from repro.core.bruteforce import brute_force_counts
-
-    result = brute_force_counts(graph, delta)
-    if categories != "all":
-        result = _mask_categories(result, categories)
-    return result
-
-
-def _ex(graph: TemporalGraph, delta: float, categories: str, workers: int) -> MotifCounts:
-    from repro.baselines.exact_ex import ex_count
-
-    return ex_count(graph, delta, categories=categories, workers=workers)
-
-
-def _mask_categories(counts: MotifCounts, categories: str) -> MotifCounts:
-    """Zero out grid cells that fall outside the selected categories."""
-    from repro.core.motifs import GRID, MotifCategory
-
-    wanted = {
-        "star": {MotifCategory.STAR},
-        "pair": {MotifCategory.PAIR},
-        "triangle": {MotifCategory.TRIANGLE},
-        "star_pair": {MotifCategory.STAR, MotifCategory.PAIR},
-        "all": {MotifCategory.STAR, MotifCategory.PAIR, MotifCategory.TRIANGLE},
-    }[categories]
-    grid = counts.grid.copy()
-    for motif in GRID.values():
-        if motif.category not in wanted:
-            grid[motif.row - 1, motif.col - 1] = 0
-    return MotifCounts(grid, algorithm=counts.algorithm, delta=counts.delta)
+    if not deltas:
+        raise ValidationError("deltas must be non-empty")
+    if not algorithms:
+        raise ValidationError("algorithms must be non-empty")
+    specs = [get_algorithm(name) for name in algorithms]
+    # A param must be meaningful to at least one algorithm in the sweep;
+    # otherwise it is a typo and silently dropping it would hide it.
+    orphaned = [
+        key for key in params if not any(key in spec.params for spec in specs)
+    ]
+    if orphaned:
+        raise ValidationError(
+            f"parameter(s) {sorted(orphaned)} are accepted by none of "
+            f"{tuple(algorithms)}"
+        )
+    sweep = SweepResult()
+    for spec in specs:
+        accepted: Dict[str, object] = {
+            key: value for key, value in params.items() if key in spec.params
+        }
+        for delta in deltas:
+            request = CountRequest(
+                graph=graph,
+                delta=delta,
+                algorithm=spec.name,
+                categories=categories,
+                workers=workers if spec.parallel else 1,
+                thrd=thrd,
+                schedule=schedule,
+                seed=seed if not spec.is_exact else None,
+                n_samples=n_samples if not spec.is_exact else None,
+                params=accepted,
+            )
+            sweep.add(spec.name, delta, execute(request))
+    return sweep

@@ -257,6 +257,13 @@ class MotifCounts:
 
     Supports lookup by motif name (``counts["M24"]``), per-category
     totals, exact equality, addition, and a text rendering of the grid.
+
+    This is also the registry's unified ``CountResult``: sampling
+    estimators carry a ``stderr`` grid (standard error of the mean over
+    replicates, see :func:`repro.core.registry.execute`), algorithms
+    report per-phase wall-clock in ``phase_seconds``, and ``is_exact``
+    records whether the producing algorithm is exact (defaulting to
+    dtype inference: integer grids are exact).
     """
 
     grid: np.ndarray
@@ -264,6 +271,9 @@ class MotifCounts:
     delta: float = 0.0
     elapsed_seconds: float = 0.0
     meta: Dict[str, object] = field(default_factory=dict)
+    stderr: Optional[np.ndarray] = None
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    is_exact: Optional[bool] = None
 
     def __post_init__(self) -> None:
         grid = np.asarray(self.grid)
@@ -275,11 +285,14 @@ class MotifCounts:
         self.grid = grid
         if self.grid.shape != (6, 6):
             raise ValidationError(f"grid must be 6x6, got shape {self.grid.shape}")
-
-    @property
-    def is_exact(self) -> bool:
-        """True for integer grids (exact algorithms)."""
-        return bool(np.issubdtype(self.grid.dtype, np.integer))
+        if self.stderr is not None:
+            self.stderr = np.asarray(self.stderr, dtype=np.float64)
+            if self.stderr.shape != (6, 6):
+                raise ValidationError(
+                    f"stderr must be 6x6, got shape {self.stderr.shape}"
+                )
+        if self.is_exact is None:
+            self.is_exact = bool(np.issubdtype(self.grid.dtype, np.integer))
 
     @classmethod
     def zeros(cls, **kwargs) -> "MotifCounts":
@@ -329,13 +342,58 @@ class MotifCounts:
     def per_motif(self) -> Dict[str, int]:
         return {m.name: self.get(m.row, m.col) for m in GRID.values()}
 
+    # -- uncertainty (sampling estimators) ----------------------------
+    def stderr_of(self, name: str) -> float:
+        """Standard error of one motif's estimate (0.0 when exact)."""
+        if self.stderr is None:
+            return 0.0
+        motif = MOTIFS_BY_NAME[name]
+        return float(self.stderr[motif.row - 1, motif.col - 1])
+
+    def confidence_interval(self, name: str, z: float = 1.96) -> Tuple[float, float]:
+        """Normal-approximation CI for one motif (default 95%)."""
+        center = float(self[name])
+        half = z * self.stderr_of(name)
+        return (center - half, center + half)
+
+    # -- category masking ---------------------------------------------
+    def masked(self, categories: str) -> "MotifCounts":
+        """Copy with cells outside the selected categories zeroed.
+
+        The single masking implementation shared by every algorithm
+        (the registry dispatcher applies it uniformly).  ``"all"``
+        returns ``self`` unchanged.
+        """
+        keep = category_keep_mask(categories)
+        if categories == "all":
+            return self
+        return MotifCounts(
+            np.where(keep, self.grid, 0),
+            algorithm=self.algorithm,
+            delta=self.delta,
+            elapsed_seconds=self.elapsed_seconds,
+            meta=dict(self.meta),
+            stderr=None if self.stderr is None else np.where(keep, self.stderr, 0.0),
+            phase_seconds=dict(self.phase_seconds),
+            is_exact=self.is_exact,
+        )
+
     # -- algebra ------------------------------------------------------
     def __add__(self, other: "MotifCounts") -> "MotifCounts":
+        # Adding independent estimates: variances add, so stderr cells
+        # combine in quadrature (and are dropped if either side lacks
+        # them).  Exactness survives only if both sides are exact.
+        stderr = None
+        if self.stderr is not None and other.stderr is not None:
+            stderr = np.sqrt(self.stderr ** 2 + other.stderr ** 2)
         return MotifCounts(
             self.grid + other.grid,
             algorithm=self.algorithm,
             delta=self.delta,
             elapsed_seconds=self.elapsed_seconds + other.elapsed_seconds,
+            meta=dict(self.meta),
+            stderr=stderr,
+            is_exact=bool(self.is_exact and other.is_exact),
         )
 
     def __eq__(self, other: object) -> bool:
@@ -364,6 +422,27 @@ class MotifCounts:
         return self.to_text(
             f"MotifCounts[{self.algorithm}, δ={self.delta}] total={self.total()}"
         )
+
+
+def category_keep_mask(categories: str) -> np.ndarray:
+    """Boolean 6×6 mask of the grid cells a category selection keeps."""
+    wanted = {
+        "star": {MotifCategory.STAR},
+        "pair": {MotifCategory.PAIR},
+        "triangle": {MotifCategory.TRIANGLE},
+        "star_pair": {MotifCategory.STAR, MotifCategory.PAIR},
+        "all": {MotifCategory.STAR, MotifCategory.PAIR, MotifCategory.TRIANGLE},
+    }.get(categories)
+    if wanted is None:
+        raise ValidationError(
+            f"unknown categories {categories!r}; choose from "
+            "('all', 'star', 'pair', 'triangle', 'star_pair')"
+        )
+    keep = np.zeros((6, 6), dtype=bool)
+    for motif in GRID.values():
+        if motif.category in wanted:
+            keep[motif.row - 1, motif.col - 1] = True
+    return keep
 
 
 def merge_counters(counters: Iterable[_FlatCounter]) -> Optional[_FlatCounter]:

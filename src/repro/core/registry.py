@@ -1,0 +1,353 @@
+"""Pluggable algorithm registry: one entry point, seven (and counting) backends.
+
+Every counting algorithm — the paper's FAST/HARE as well as the
+baselines it is evaluated against — registers itself here with
+:func:`register_algorithm`, declaring its capabilities in an
+:class:`AlgorithmSpec`: exact vs. approximate, which motif-category
+selections it supports, whether it can run parallel, and which extra
+parameters (``q``, ``p``, ``window_factor``, …) it accepts.
+
+Callers describe *what* to count with a :class:`CountRequest` and get
+back a :class:`~repro.core.counters.MotifCounts` (aliased
+:data:`CountResult`) regardless of the backend:
+
+>>> from repro.core.registry import CountRequest, execute
+>>> result = execute(CountRequest(graph=g, delta=600, algorithm="bts"))
+>>> result.is_exact, result.stderr is not None
+(False, True)
+
+Sampling estimators are replicated ``n_samples`` times with
+consecutive seeds; the dispatcher averages the replicate grids and
+fills ``result.stderr`` with the standard error of the mean, so every
+approximate answer carries its own uncertainty.
+
+Adding a backend is one decorated function::
+
+    @register_algorithm("mycounter", exact=True)
+    def _mycounter(request: CountRequest) -> MotifCounts:
+        return MotifCounts(my_grid(request.graph, request.delta))
+
+The built-in algorithms live in :mod:`repro.core.algorithms` and are
+loaded lazily on first registry access, so importing :mod:`repro`
+stays cheap.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.counters import MotifCounts
+    from repro.graph.temporal_graph import TemporalGraph
+
+#: Motif-category selections every request may ask for.
+CATEGORIES = ("all", "star", "pair", "triangle", "star_pair")
+
+#: Replicates run by default for approximate algorithms (the stderr
+#: of a single draw is undefined; three is the cheapest defensible n).
+DEFAULT_SAMPLING_REPLICATES = 3
+
+#: Category selections that require the FAST star/pair pass.
+STAR_PAIR_CATEGORIES = ("all", "star", "pair", "star_pair")
+
+#: Category selections that require a triangle pass.
+TRIANGLE_CATEGORIES = ("all", "triangle")
+
+
+@dataclass
+class CountRequest:
+    """A validated, normalized description of one counting run.
+
+    Generic knobs (``delta``, ``categories``, ``workers``) are checked
+    here; algorithm-specific capability checks happen in
+    :meth:`resolve` once the :class:`AlgorithmSpec` is known.
+    """
+
+    graph: "TemporalGraph"
+    delta: float
+    algorithm: str = "fast"
+    categories: str = "all"
+    workers: int = 1
+    thrd: Optional[float] = None
+    schedule: str = "dynamic"
+    seed: Optional[int] = None
+    n_samples: Optional[int] = None
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.delta is None or self.delta < 0:
+            raise ValidationError(f"delta must be non-negative, got {self.delta}")
+        if self.categories not in CATEGORIES:
+            raise ValidationError(
+                f"unknown categories {self.categories!r}; choose from {CATEGORIES}"
+            )
+        if self.workers < 1:
+            raise ValidationError(f"workers must be >= 1, got {self.workers}")
+        if self.schedule not in ("dynamic", "static"):
+            raise ValidationError(
+                f"schedule must be 'dynamic' or 'static', got {self.schedule!r}"
+            )
+        if self.n_samples is not None and self.n_samples < 1:
+            raise ValidationError(f"n_samples must be >= 1, got {self.n_samples}")
+
+    # -- category helpers used by adapters -----------------------------
+    @property
+    def wants_star_pair(self) -> bool:
+        return self.categories in STAR_PAIR_CATEGORIES
+
+    @property
+    def wants_triangle(self) -> bool:
+        return self.categories in TRIANGLE_CATEGORIES
+
+    def param(self, name: str, default: object = None) -> object:
+        return self.params.get(name, default)
+
+    def resolve(self, spec: "AlgorithmSpec") -> "CountRequest":
+        """Capability-check against ``spec`` and fill defaults.
+
+        Returns a new request with ``seed``/``n_samples`` made concrete
+        and ``params`` merged over the spec's declared defaults.
+        """
+        if self.categories not in spec.categories:
+            raise ValidationError(
+                f"algorithm {spec.name!r} does not support categories="
+                f"{self.categories!r} (supported: {spec.categories})"
+            )
+        if self.workers > 1 and not spec.parallel:
+            raise ValidationError(
+                f"algorithm {spec.name!r} does not support parallel execution "
+                f"(workers={self.workers})"
+            )
+        unknown = set(self.params) - set(spec.params)
+        if unknown:
+            raise ValidationError(
+                f"unknown parameter(s) {sorted(unknown)} for algorithm "
+                f"{spec.name!r} (accepted: {sorted(spec.params)})"
+            )
+        if spec.is_exact and self.n_samples is not None and self.n_samples > 1:
+            raise ValidationError(
+                f"n_samples applies to sampling algorithms only; "
+                f"{spec.name!r} is exact"
+            )
+        if spec.is_exact and self.seed is not None:
+            raise ValidationError(
+                f"seed applies to sampling algorithms only; {spec.name!r} is exact"
+            )
+        n_samples = self.n_samples
+        if n_samples is None:
+            n_samples = 1 if spec.is_exact else DEFAULT_SAMPLING_REPLICATES
+        params = dict(spec.params)
+        params.update(self.params)
+        return dataclasses.replace(
+            self,
+            seed=0 if self.seed is None else self.seed,
+            n_samples=n_samples,
+            params=params,
+        )
+
+    def with_seed(self, seed: int) -> "CountRequest":
+        """Copy of this request with a different RNG seed (replicates)."""
+        return dataclasses.replace(self, seed=seed)
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """Declared capabilities of one registered counting algorithm."""
+
+    name: str
+    func: Callable[[CountRequest], "MotifCounts"]
+    is_exact: bool
+    categories: Tuple[str, ...] = CATEGORIES
+    parallel: bool = False
+    params: Mapping[str, object] = field(default_factory=dict)
+    description: str = ""
+
+    @property
+    def kind(self) -> str:
+        return "exact" if self.is_exact else "approximate"
+
+    def describe(self) -> str:
+        """One line for ``repro list-algorithms`` / ``--help``."""
+        bits = [self.kind, "parallel" if self.parallel else "serial"]
+        if set(self.categories) != set(CATEGORIES):
+            bits.append("categories: " + ",".join(self.categories))
+        if self.params:
+            bits.append(
+                "params: " + ", ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+            )
+        detail = "; ".join(bits)
+        text = f"{self.name:12s} [{detail}]"
+        if self.description:
+            text += f"  {self.description}"
+        return text
+
+
+_REGISTRY: Dict[str, AlgorithmSpec] = {}
+_BUILTINS_LOADED = False
+
+
+def register_algorithm(
+    name: str,
+    *,
+    exact: bool,
+    categories: Tuple[str, ...] = CATEGORIES,
+    parallel: bool = False,
+    params: Optional[Mapping[str, object]] = None,
+    description: str = "",
+    replace: bool = False,
+) -> Callable[[Callable[[CountRequest], "MotifCounts"]], Callable]:
+    """Decorator: register a counting function under ``name``.
+
+    The decorated function takes a resolved :class:`CountRequest` and
+    returns a :class:`~repro.core.counters.MotifCounts`; masking to the
+    requested categories, timing, and sampling replication are handled
+    by the dispatcher, not the function.
+    """
+    if not name or not isinstance(name, str):
+        raise ValidationError(f"algorithm name must be a non-empty string, got {name!r}")
+    bad = set(categories) - set(CATEGORIES)
+    if bad:
+        raise ValidationError(
+            f"invalid capability: categories {sorted(bad)} not in {CATEGORIES}"
+        )
+    if "all" not in categories:
+        raise ValidationError("invalid capability: every algorithm must support 'all'")
+
+    def decorator(func: Callable[[CountRequest], "MotifCounts"]) -> Callable:
+        if name in _REGISTRY and not replace:
+            raise ValidationError(
+                f"algorithm {name!r} is already registered; pass replace=True to override"
+            )
+        _REGISTRY[name] = AlgorithmSpec(
+            name=name,
+            func=func,
+            is_exact=exact,
+            categories=tuple(categories),
+            parallel=parallel,
+            params=dict(params or {}),
+            description=description,
+        )
+        return func
+
+    return decorator
+
+
+def unregister_algorithm(name: str) -> None:
+    """Remove a registered algorithm (primarily for tests)."""
+    _REGISTRY.pop(name, None)
+
+
+def _ensure_builtins() -> None:
+    global _BUILTINS_LOADED
+    if not _BUILTINS_LOADED:
+        # Flag is set only after a successful import: a failure part-way
+        # (e.g. a user registration colliding with a builtin name) must
+        # surface again on the next access, not leave a silently
+        # half-populated registry.
+        import repro.core.algorithms  # noqa: F401  (registers on import)
+
+        _BUILTINS_LOADED = True
+
+
+def get_algorithm(name: str) -> AlgorithmSpec:
+    """Look up a registered algorithm; raises on unknown names."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown algorithm {name!r}; choose from {available_algorithms()}"
+        ) from None
+
+
+def available_algorithms() -> Tuple[str, ...]:
+    """Names of every registered algorithm, in registration order."""
+    _ensure_builtins()
+    return tuple(_REGISTRY)
+
+
+def algorithm_specs() -> List[AlgorithmSpec]:
+    """All registered specs, in registration order."""
+    _ensure_builtins()
+    return list(_REGISTRY.values())
+
+
+def execute(request: CountRequest) -> "MotifCounts":
+    """Dispatch a request to its algorithm and normalize the result.
+
+    The uniform post-processing contract, applied to every backend:
+
+    * approximate algorithms run ``n_samples`` replicates with
+      consecutive seeds; the grids are averaged and ``stderr`` holds
+      the standard error of the mean (``None`` for a single draw);
+    * ``is_exact`` reflects the spec, not the grid dtype;
+    * the grid is masked to the requested categories via
+      :meth:`MotifCounts.masked` — one masking implementation for all
+      algorithms;
+    * ``delta``, ``elapsed_seconds``, ``phase_seconds`` and provenance
+      ``meta`` keys are always filled.
+    """
+    from repro.core.counters import MotifCounts
+
+    spec = get_algorithm(request.algorithm)
+    req = request.resolve(spec)
+    start = time.perf_counter()
+    if req.n_samples == 1:
+        result = spec.func(req)
+        result.is_exact = spec.is_exact
+    else:
+        from repro.core.counters import category_keep_mask
+
+        grids = []
+        phase_seconds: Dict[str, float] = {}
+        replicate = None
+        assert req.seed is not None and req.n_samples is not None
+        for i in range(req.n_samples):
+            tick = time.perf_counter()
+            replicate = spec.func(req.with_seed(req.seed + i))
+            phase_seconds[f"sample[{i}]"] = time.perf_counter() - tick
+            grids.append(np.asarray(replicate.grid, dtype=np.float64))
+        # Mask the replicates before aggregating so per-cell stderr and
+        # the total's stderr both describe the requested selection.
+        stacked = np.stack(grids) * category_keep_mask(req.categories)
+        stderr = stacked.std(axis=0, ddof=1) / np.sqrt(req.n_samples)
+        # The cells of one replicate are correlated (they come from the
+        # same sample), so the total's stderr is computed from the
+        # per-replicate totals, not by adding cell variances.
+        totals = stacked.sum(axis=(1, 2))
+        total_stderr = float(totals.std(ddof=1) / np.sqrt(req.n_samples))
+        assert replicate is not None
+        result = MotifCounts(
+            stacked.mean(axis=0),
+            algorithm=replicate.algorithm,
+            stderr=stderr,
+            is_exact=False,
+            phase_seconds=phase_seconds,
+            meta={"total_stderr": total_stderr},
+        )
+    result.delta = req.delta
+    # Adapters may set a custom label (e.g. "hare[2]"); if one left the
+    # dataclass default, stamp the requested name so output is honest.
+    if result.algorithm == "fast" and req.algorithm != "fast":
+        result.algorithm = req.algorithm
+    result.meta.setdefault("requested_algorithm", req.algorithm)
+    if not spec.is_exact:
+        result.meta.setdefault("n_samples", req.n_samples)
+        result.meta.setdefault("seed", req.seed)
+        for key, value in req.params.items():
+            result.meta.setdefault(key, value)
+    result = result.masked(req.categories)
+    result.elapsed_seconds = time.perf_counter() - start
+    return result
+
+
+# The unified result type: every algorithm returns MotifCounts, so the
+# request/result pair of this API is (CountRequest, CountResult).
+from repro.core.counters import MotifCounts as CountResult  # noqa: E402

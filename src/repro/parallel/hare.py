@@ -9,13 +9,16 @@ passes for the paper's per-category benchmarks (HARE-Pair in Fig. 11).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional, Tuple, TYPE_CHECKING
 
 from repro.core.counters import MotifCounts, PairCounter, StarCounter, TriangleCounter
 from repro.errors import ValidationError
 from repro.graph.temporal_graph import TemporalGraph
 from repro.parallel.executor import run_batches
 from repro.parallel.scheduler import build_batches, partition_static
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.registry import CountRequest
 
 
 def _prepare_batches(
@@ -57,13 +60,22 @@ def hare_count(
         graph, delta, batches, workers, schedule,
         star_pair=star_pair, triangle=triangle,
     )
-    if categories == "star":
-        pair = None
-    elif categories == "pair":
-        star = None
-    return MotifCounts.from_counters(
+    result = MotifCounts.from_counters(
         star, pair, tri, algorithm=f"hare[{workers}]", delta=delta,
         meta={"workers": workers, "schedule": schedule},
+    )
+    return result.masked(categories)
+
+
+def hare_count_request(request: "CountRequest") -> MotifCounts:
+    """Registry adapter entry: run HARE from a resolved CountRequest."""
+    return hare_count(
+        request.graph,
+        request.delta,
+        workers=request.workers,
+        thrd=request.thrd,
+        schedule=request.schedule,
+        categories=request.categories,
     )
 
 

@@ -58,6 +58,45 @@ class TestCount:
         assert payload["counts"]["M26"] == 1
         assert payload["counts"]["M55"] == 0
 
+    def test_count_bt_algorithm(self, edge_file, capsys):
+        assert main(
+            ["count", "--input", edge_file, "--delta", "10", "--algorithm", "bt", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total"] == 27
+        assert payload["is_exact"] is True
+
+    def test_count_twoscent_algorithm(self, edge_file, capsys):
+        assert main(
+            ["count", "--input", edge_file, "--delta", "10",
+             "--algorithm", "twoscent", "--categories", "triangle", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["M26"] == 1
+
+    def test_count_bts_sampling_flags(self, edge_file, capsys):
+        assert main(
+            ["count", "--input", edge_file, "--delta", "10", "--algorithm", "bts",
+             "--n-samples", "2", "--seed", "7", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["is_exact"] is False
+        assert payload["n_samples"] == 2
+        assert set(payload["stderr"]) == set(payload["counts"])
+
+    def test_count_ews_text_reports_ci(self, edge_file, capsys):
+        assert main(
+            ["count", "--input", edge_file, "--delta", "10", "--algorithm", "ews"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "95% CI" in out
+
+    def test_count_sampling_flag_on_exact_is_rejected(self, edge_file, capsys):
+        assert main(
+            ["count", "--input", edge_file, "--delta", "10", "--n-samples", "3"]
+        ) == 2
+        assert "sampling" in capsys.readouterr().err
+
     def test_missing_source_rejected(self, capsys):
         with pytest.raises(SystemExit):
             main(["count", "--delta", "10"])
@@ -107,6 +146,21 @@ class TestBenchAndList:
     def test_bench_unknown_experiment(self):
         with pytest.raises(SystemExit):
             main(["bench", "table7"])
+
+    def test_list_algorithms(self, capsys):
+        assert main(["list-algorithms"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fast", "ex", "bruteforce", "bt", "twoscent", "bts", "ews"):
+            assert name in out
+        assert "approximate" in out and "exact" in out
+
+    def test_help_lists_registry_algorithms(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "registered algorithms" in out
+        assert "twoscent" in out
 
 
 class TestErrors:
