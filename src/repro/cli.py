@@ -29,7 +29,7 @@ from typing import List, Optional
 
 from repro.bench.experiments import EXPERIMENTS
 from repro.core.api import CATEGORIES, count_motifs
-from repro.core.registry import algorithm_specs, available_algorithms
+from repro.core.registry import BACKENDS, algorithm_specs, available_algorithms
 from repro.errors import ReproError
 from repro.graph.datasets import REGISTRY, load_dataset
 from repro.graph.edgelist import load_edgelist, save_edgelist
@@ -65,12 +65,17 @@ def _cmd_count(args: argparse.Namespace) -> int:
         schedule=args.schedule,
         seed=args.seed,
         n_samples=args.n_samples,
+        backend=args.backend,
     )
+    dominant = counts.dominant_phase()
     if args.json:
         payload = {
             "algorithm": counts.algorithm,
             "delta": args.delta,
+            "backend": counts.backend,
             "elapsed_seconds": counts.elapsed_seconds,
+            "phase_seconds": dict(counts.phase_seconds),
+            "dominant_phase": None if dominant is None else dominant[0],
             "is_exact": counts.is_exact,
             "total": counts.total(),
             "counts": counts.per_motif(),
@@ -89,6 +94,15 @@ def _cmd_count(args: argparse.Namespace) -> int:
             f"{counts.algorithm} δ={args.delta} "
             f"total={counts.total():,} ({counts.elapsed_seconds:.2f}s)"
         ))
+        if dominant is not None:
+            phases = ", ".join(
+                f"{name}={seconds:.3f}s"
+                for name, seconds in sorted(counts.phase_seconds.items())
+            )
+            print(
+                f"backend: {counts.backend}; phases: {phases} "
+                f"(dominant: {dominant[0]})"
+            )
         if "coverage" in counts.meta:
             print(f"coverage: {counts.meta['coverage']}")
         if not counts.is_exact:
@@ -193,6 +207,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_count.add_argument("--n-samples", type=int, default=None,
                          help="sampling replicates to average (sampling "
                               "algorithms only; default 3, stderr across them)")
+    p_count.add_argument("--backend", choices=BACKENDS, default="auto",
+                         help="execution backend: columnar (vectorized NumPy "
+                              "kernels), python (interpreted loops), or auto "
+                              "(fastest the algorithm implements; identical "
+                              "counts either way)")
     p_count.add_argument("--json", action="store_true", help="emit JSON")
     p_count.set_defaults(func=_cmd_count)
 

@@ -56,6 +56,7 @@ def count_motifs(
     schedule: str = "dynamic",
     seed: Optional[int] = None,
     n_samples: Optional[int] = None,
+    backend: str = "auto",
     **params: object,
 ) -> MotifCounts:
     """Count 2- and 3-node, 3-edge δ-temporal motifs (Problem 1).
@@ -96,6 +97,12 @@ def count_motifs(
         Sampling algorithms only: number of independent replicates to
         average (default 3); the result's ``stderr`` grid holds the
         standard error of the mean across replicates.
+    backend:
+        ``"columnar"`` runs vectorized NumPy kernels over the columnar
+        edge store, ``"python"`` the interpreted per-edge loops, and
+        ``"auto"`` (default) the fastest backend the chosen algorithm
+        implements.  Counts are identical either way; the effective
+        choice is recorded in ``result.meta["backend"]``.
     params:
         Algorithm-specific extras declared in the registry, e.g.
         ``q=0.3, window_factor=5.0`` for BTS or ``p=0.01, q=1.0`` for
@@ -118,6 +125,7 @@ def count_motifs(
             "schedule": schedule != "dynamic",
             "seed": seed is not None,
             "n_samples": n_samples is not None,
+            "backend": backend != "auto",
             "params": bool(params),
         }
         given = sorted(name for name, set_ in overrides.items() if set_)
@@ -137,6 +145,7 @@ def count_motifs(
         schedule=schedule,
         seed=seed,
         n_samples=n_samples,
+        backend=backend,
         params=dict(params),
     )
     return execute(request)
@@ -174,6 +183,28 @@ class SweepResult:
             if key[0] == algorithm
         ]
 
+    def phase_report(self) -> List[Dict[str, object]]:
+        """Per-run provenance: backend and dominant phase of every cell.
+
+        One dict per sweep cell (run order) with ``algorithm``,
+        ``delta``, ``backend``, ``elapsed_seconds``, ``phase_seconds``
+        and the ``dominant_phase`` pair — what benchmark drivers print
+        to show which backend/phase the runtime went to.
+        """
+        report: List[Dict[str, object]] = []
+        for (algorithm, delta), result in zip(self.keys, self.results):
+            report.append(
+                {
+                    "algorithm": algorithm,
+                    "delta": delta,
+                    "backend": result.backend,
+                    "elapsed_seconds": result.elapsed_seconds,
+                    "phase_seconds": dict(result.phase_seconds),
+                    "dominant_phase": result.dominant_phase(),
+                }
+            )
+        return report
+
     def __iter__(self) -> Iterator[MotifCounts]:
         return iter(self.results)
 
@@ -192,6 +223,7 @@ def count_motifs_sweep(
     schedule: str = "dynamic",
     seed: Optional[int] = None,
     n_samples: Optional[int] = None,
+    backend: str = "auto",
     **params: object,
 ) -> SweepResult:
     """Run every (algorithm, δ) combination and collect the results.
@@ -235,6 +267,7 @@ def count_motifs_sweep(
                 schedule=schedule,
                 seed=seed if not spec.is_exact else None,
                 n_samples=n_samples if not spec.is_exact else None,
+                backend=backend,
                 params=accepted,
             )
             sweep.add(spec.name, delta, execute(request))

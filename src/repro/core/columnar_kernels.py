@@ -1,0 +1,434 @@
+"""Vectorized FAST counting kernels over the columnar edge store.
+
+These kernels produce counts **identical** to the pure-Python loops in
+:mod:`repro.core.fast_star` / :mod:`repro.core.fast_tri`
+(property-tested across all motif classes, timestamp ties included),
+but express Algorithms 1 and 2 of the paper as a handful of NumPy
+array passes instead of per-edge interpreter steps.  Select them with
+``backend="columnar"`` anywhere a
+:class:`~repro.core.registry.CountRequest` is accepted.
+
+How the Python loops vectorize
+------------------------------
+
+**Window bounds are edge-id ranks.**  Edges are canonically sorted by
+``(t, input pos)``, so for any threshold ``x`` the set
+``{e : t_e <= x}`` is an edge-id prefix found by one binary search on
+the timestamp column, and "entries of center *u*'s CSR row below that
+id" is one probe of the row-composite key
+(:attr:`~repro.graph.columnar.ColumnarGraph.inc_row_key`).  Every
+δ-window bound used below is precomputed this way for *all* incidence
+positions at once — six vectorized ``searchsorted`` passes total,
+memoized per δ on the columnar store (HARE warms the memo before
+forking so every worker shares it copy-on-write instead of
+recomputing per batch).
+
+**FAST-Star has a closed form per anchor.**  Every star/pair motif
+triple contains at least two edges on the *same* (center, neighbour)
+pair: the pair motifs use all three, Star-I its 2nd+3rd, Star-II its
+1st+3rd, Star-III its 1st+2nd edge (the "anchor pair").  Fixing the
+anchor pair, the third edge is counted by a prefix-sum difference
+(Algorithm 1's incremental ``min``/``mout`` hash maps become rank
+differences in the group-sorted ordering
+:attr:`~repro.graph.columnar.ColumnarGraph.grp_inv` / ``grp_cum_in``).
+Summing those differences over the anchor pair's second element — a
+contiguous slot range — telescopes into differences of *prefix sums of
+prefix sums*, so the kernel never materialises edge pairs at all: it
+builds ~16 direction-split prefix arrays over the 2m incidence entries
+(also memoized per δ) and then evaluates every counter cell with O(1)
+arithmetic per anchor edge.  Total work is O(m log m), *below* the
+paper's O(d^δ · m) bound for FAST-Star.
+
+**FAST-Tri classifies by edge id.**  The canonical tie-break rule
+makes "``e_k`` before ``e_i``" ⟺ ``eid_k < eid_i`` and "after ``e_j``"
+⟺ ``eid_k > eid_j``, so the Triangle I/II/III split of the pair
+timeline ``E(v, w)`` is three contiguous id ranges, located by rank
+probes into the pair CSR and split by direction with prefix sums.
+Open wedges (far pairs that never interact) are rejected early by a
+Bloom-filter gather before any binary search runs.
+
+**Exact accumulation.**  Counter cells are scatter-added with pure
+int64 masked sums (never float64 ``bincount`` weights), so counts stay
+exact arbitrarily far beyond 2**53.
+
+Work decomposition
+------------------
+
+Both kernels accept the scheduler's ``(node, i_lo, i_hi)`` tasks.
+Ownership of a triple is defined by its *anchor edge* — the earlier
+edge of the anchor pair for stars, the wedge's first edge for
+triangles — which every complete task cover visits exactly once, so
+merged task results equal the serial count exactly.  (The per-task
+*split* may differ from the Python kernels, whose ownership is always
+the triple's first edge; only the union is contracted — see
+:func:`repro.core.fast_star.count_star_pair_tasks`.)
+
+Peak memory is O(m) for the star kernel and bounded by
+``chunk_pairs`` expanded wedges (default 2**22 ≈ 4M) for the triangle
+kernel, independent of δ.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.columnar import ColumnarGraph
+from repro.graph.temporal_graph import TemporalGraph
+
+#: Default cap on expanded wedge pairs processed at once (FAST-Tri).
+DEFAULT_CHUNK_PAIRS = 1 << 22
+
+#: A work task, as produced by the HARE scheduler.
+Task = Tuple[int, int, Optional[int]]
+
+
+def _task_positions(
+    col: ColumnarGraph, tasks: Optional[Iterable[Task]], tail: int = 1
+) -> np.ndarray:
+    """Flatten tasks into absolute incidence positions of anchor edges.
+
+    ``tail`` is how many trailing positions of a CSR row cannot anchor
+    anything (at least one later edge must exist).  ``tasks=None``
+    selects every eligible position of every center — the full serial
+    count.
+    """
+    indptr = col.inc_indptr
+    if tasks is None:
+        sizes = np.maximum(np.diff(indptr) - tail, 0)
+        total = int(sizes.sum())
+        if total == 0:
+            return np.zeros(0, dtype=np.int64)
+        reps = np.repeat(np.arange(col.num_nodes, dtype=np.int64), sizes)
+        offsets = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+        return (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(offsets, sizes)
+            + indptr[reps]
+        )
+    pieces: List[np.ndarray] = []
+    for node, i_lo, i_hi in tasks:
+        row_lo = int(indptr[node])
+        limit = int(indptr[node + 1]) - row_lo - tail
+        hi = limit if i_hi is None else min(i_hi, limit)
+        if hi > i_lo:
+            pieces.append(np.arange(row_lo + i_lo, row_lo + hi, dtype=np.int64))
+    if not pieces:
+        return np.zeros(0, dtype=np.int64)
+    return np.concatenate(pieces)
+
+
+def _expand_pairs(
+    anchor: np.ndarray, counts: np.ndarray, gap: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Expand per-anchor successor counts into flat (anchor, other) pairs."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    A = np.repeat(anchor, counts)
+    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    B = np.arange(total, dtype=np.int64) - np.repeat(offsets, counts) + A + gap
+    return A, B
+
+
+def _chunks(counts: np.ndarray, chunk_pairs: int) -> Iterable[Tuple[int, int]]:
+    """Slice the anchor axis so each slice expands to ≤ chunk_pairs.
+
+    A single anchor whose window alone exceeds the cap still forms its
+    own (oversized) chunk — correctness never depends on the cap.
+    """
+    if len(counts) == 0:
+        return
+    csum = np.cumsum(counts)
+    start = 0
+    while start < len(counts):
+        base = int(csum[start - 1]) if start else 0
+        stop = int(np.searchsorted(csum, base + chunk_pairs, side="right"))
+        stop = min(max(stop, start + 1), len(counts))
+        yield start, stop
+        start = stop
+
+
+def _window_bounds(
+    col: ColumnarGraph, delta: float
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-position δ-window bounds, all four flavours, fully vectorized.
+
+    Returns ``(lo_eid, hi_eid, ws, we)`` where for every incidence
+    position ``p``:
+
+    * ``lo_eid[p]`` / ``hi_eid[p]`` — global edge-id ranks of the
+      window ``[t_p - δ, t_p + δ]`` (first id with ``t >= t_p - δ``,
+      first id with ``t > t_p + δ``);
+    * ``ws[p]`` / ``we[p]`` — the same bounds as absolute positions
+      inside ``p``'s own CSR row (row-composite probes).
+
+    Memoized per δ on ``col.delta_cache`` (single entry — sweeps
+    revisit deltas rarely, HARE batches revisit the same δ often).
+    """
+    key = ("bounds", float(delta))
+    cached = col.delta_cache.get(key)
+    if cached is not None:
+        return cached
+    t = col.t
+    time_col = col.inc_time
+    lo_eid = np.searchsorted(t, time_col - delta, side="left")
+    hi_eid = np.searchsorted(t, time_col + delta, side="right")
+    row_base = col.inc_row * np.int64(col.num_edges + 1)
+    ws = np.searchsorted(col.inc_row_key, row_base + lo_eid)
+    we = np.searchsorted(col.inc_row_key, row_base + hi_eid)
+    col.delta_cache.clear()
+    col.delta_cache[key] = (lo_eid, hi_eid, ws, we)
+    return col.delta_cache[key]
+
+
+def _dir_prefixes(values: np.ndarray, is_in: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Direction-split exclusive prefix sums of a per-slot array."""
+    zero = np.int64(0)
+    out = np.concatenate(([zero], np.cumsum(np.where(is_in, 0, values))))
+    into = np.concatenate(([zero], np.cumsum(np.where(is_in, values, 0))))
+    return out, into
+
+
+def _star_precompute(col: ColumnarGraph, delta: float):
+    """δ-dependent, task-independent tables of the star closed form.
+
+    Returns ``(gws, gwe, prefixes)`` where ``prefixes`` maps base-term
+    name → its direction-split prefix pair.  Memoized alongside the
+    window bounds so HARE batches (and repeated serial calls at one δ)
+    pay the O(m log m) setup once.
+    """
+    key = ("star", float(delta))
+    cached = col.delta_cache.get(key)
+    if cached is not None:
+        return cached
+    _, _, ws, we = _window_bounds(col, delta)
+    L = 2 * col.num_edges
+    slot_ids = np.arange(L, dtype=np.int64)
+    gkey_base = col.grp_id * np.int64(L + 1)
+    gws = np.searchsorted(col.grp_rank_key, gkey_base + ws)
+    gwe = np.searchsorted(col.grp_rank_key, gkey_base + we)
+
+    # Per-slot base terms (slot s holds position p_s = order[s]):
+    # "outside-group" rank excesses — global minus in-group quantities.
+    pos_s = col.grp_order
+    cum_in = col.inc_cum_in
+    gcum_in = col.grp_cum_in
+    is_in = col.inc_dir[pos_s] == 1
+    cin = cum_in[pos_s] - gcum_in[slot_ids]          # IN before p_s, other nbrs
+    gin = cum_in[pos_s + 1] - gcum_in[slot_ids + 1]  # ... up to and incl. p_s
+    win = cum_in[ws[pos_s]] - gcum_in[gws[pos_s]]    # ... before p_s's window
+    prefixes = {
+        "one": _dir_prefixes(np.ones(L, dtype=np.int64), is_in),
+        "slot": _dir_prefixes(slot_ids, is_in),
+        "cin": _dir_prefixes(cin, is_in),
+        "gin": _dir_prefixes(gin, is_in),
+        "win": _dir_prefixes(win, is_in),
+        "osub": _dir_prefixes(pos_s - slot_ids, is_in),
+        "wsub": _dir_prefixes(ws[pos_s] - gws[pos_s], is_in),
+        "ggin": _dir_prefixes(gcum_in[slot_ids], is_in),
+    }
+    col.delta_cache[key] = (gws, gwe, prefixes)
+    return col.delta_cache[key]
+
+
+def warm_delta_cache(
+    col: ColumnarGraph, delta: float, star_pair: bool = True
+) -> None:
+    """Force the per-δ memos now (called before forking HARE workers)."""
+    _window_bounds(col, delta)
+    if star_pair:
+        _star_precompute(col, delta)
+
+
+def count_star_pair_columnar(
+    graph: TemporalGraph,
+    delta: float,
+    tasks: Optional[Iterable[Task]] = None,
+    chunk_pairs: int = DEFAULT_CHUNK_PAIRS,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized FAST-Star (Algorithm 1): star + pair flat counters.
+
+    Returns the 24-cell star and 8-cell pair counter arrays (int64,
+    layout of :func:`repro.core.counters.star_index` /
+    :func:`~repro.core.counters.pair_index`).  The merged result over
+    any complete task cover is identical to
+    :func:`repro.core.fast_star.count_star_pair` (``tasks=None`` *is*
+    the complete cover).  ``chunk_pairs`` is accepted for interface
+    symmetry with the triangle kernel; this kernel materialises no
+    pairs.
+    """
+    del chunk_pairs  # closed form: nothing to chunk
+    col = graph.columnar()
+    star_acc = np.zeros(24, dtype=np.int64)
+    pair_acc = np.zeros(8, dtype=np.int64)
+
+    anchors = _task_positions(col, tasks)
+    if len(anchors) == 0:
+        return star_acc, pair_acc
+
+    _, gwe, P = _star_precompute(col, delta)
+    _, _, _, we = _window_bounds(col, delta)
+    cum_in = col.inc_cum_in
+    gcum_in = col.grp_cum_in
+
+    # -- per-anchor closed form ----------------------------------------
+    # The anchor edge (position A, slot s1) pairs with every later
+    # same-group edge in its δ-window: slots s2 in (s1, gwe[A]).  All
+    # four motif roles sum a per-s2 affine term over that slot range,
+    # evaluated below as prefix-sum differences, split by d2 = dir(s2).
+    A = anchors
+    s1 = col.grp_inv[A]
+    d1 = col.inc_dir[A]
+    lo = s1 + 1
+    hi = gwe[A]
+    cin1 = cum_in[A] - gcum_in[s1]
+    osub1 = A - s1
+    ggin1 = gcum_in[s1] + d1
+    we_A = we[A]
+    const3_in = cum_in[we_A] - gcum_in[hi]     # Star-III: IN lasts in window
+    const3_any = we_A - hi                     # ... any-direction counterpart
+
+    d1_masks = (d1 == 0, d1 == 1)
+
+    def scatter(acc: np.ndarray, cell_d1: Tuple[int, int], weight: np.ndarray) -> None:
+        # Exact int64 scatter-add: the cell is determined by the
+        # anchor's direction, so two masked integer sums per term.
+        acc[cell_d1[0]] += int(weight[d1_masks[0]].sum())
+        acc[cell_d1[1]] += int(weight[d1_masks[1]].sum())
+
+    for d2 in (0, 1):
+        def span(name: str) -> np.ndarray:
+            prefix = P[name][d2]
+            return prefix[hi] - prefix[lo]
+
+        N = span("one")
+        S_slot = span("slot")
+        S_cin = span("cin")
+        S_gin = span("gin")
+        S_win = span("win")
+        S_osub = span("osub")
+        S_wsub = span("wsub")
+        S_ggin = span("ggin")
+
+        # Pair motifs: anchor = (1st, 3rd) edge, middles in-group.
+        w_in = S_ggin - N * ggin1
+        w_out = (S_slot - N * (s1 + 1)) - w_in
+        scatter(pair_acc, (2 + d2, 6 + d2), w_in)       # d1*4 + IN*2 + d2
+        scatter(pair_acc, (d2, 4 + d2), w_out)
+
+        # Star-II: anchor = (1st, 3rd) edge, middles on other nbrs.
+        w_in = S_cin - N * cin1
+        w_out = (S_osub - S_cin) - N * (osub1 - cin1)
+        scatter(star_acc, (10 + d2, 14 + d2), w_in)     # 8 + d1*4 + 2 + d2
+        scatter(star_acc, (8 + d2, 12 + d2), w_out)
+
+        # Star-I: anchor = (2nd, 3rd) edge, firsts on other nbrs in
+        # [window start of the 3rd edge, anchor).
+        w_in = N * cin1 - S_win
+        w_out = N * (osub1 - cin1) - (S_wsub - S_win)
+        scatter(star_acc, (4 + d2, 6 + d2), w_in)       # dI*4 + d1*2 + d2
+        scatter(star_acc, (d2, 2 + d2), w_out)
+
+        # Star-III: anchor = (1st, 2nd) edge, lasts on other nbrs in
+        # (2nd edge, window end of the anchor].
+        w_in = N * const3_in - S_gin
+        w_out = N * (const3_any - const3_in) - (S_osub - S_gin)
+        scatter(star_acc, (17 + d2 * 2, 21 + d2 * 2), w_in)  # 16+d1*4+d2*2+1
+        scatter(star_acc, (16 + d2 * 2, 20 + d2 * 2), w_out)
+
+    return star_acc, pair_acc
+
+
+def count_triangle_columnar(
+    graph: TemporalGraph,
+    delta: float,
+    tasks: Optional[Iterable[Task]] = None,
+    chunk_pairs: int = DEFAULT_CHUNK_PAIRS,
+) -> np.ndarray:
+    """Vectorized FAST-Tri (Algorithm 2): the 24-cell triangle counter.
+
+    Produces the dependency-free (``multiplicity=3``) counts, identical
+    to :func:`repro.core.fast_tri.count_triangle` over any complete
+    task cover.  The sequential center-removal mode has no vectorized
+    form (it is inherently order-dependent); callers wanting it use the
+    Python backend.
+    """
+    col = graph.columnar()
+    tri_acc = np.zeros(24, dtype=np.int64)
+
+    anchors = _task_positions(col, tasks)
+    if len(anchors) == 0 or len(col.pair_keys) == 0:
+        return tri_acc
+
+    n = col.num_nodes
+    nbr = col.inc_nbr
+    dirs = col.inc_dir
+    eid = col.inc_eid
+    pair_keys = col.pair_keys
+    pair_rank = col.pair_rank_key
+    pair_cum_in = col.pair_cum_in
+    m_plus = np.int64(col.num_edges + 1)
+
+    lo_eid, hi_eid, _, we = _window_bounds(col, delta)
+    counts = np.maximum(we[anchors] - (anchors + 1), 0)
+
+    for a, b in _chunks(counts, chunk_pairs):
+        I, J = _expand_pairs(anchors[a:b], counts[a:b], gap=1)
+        vi = nbr[I]
+        vj = nbr[J]
+        # A wedge needs distinct far endpoints whose pair exists at
+        # all; the Bloom gather rejects the bulk of open wedges before
+        # any binary search runs.
+        key = np.minimum(vi, vj) * np.int64(n) + np.maximum(vi, vj)
+        keep = (vi != vj) & col.pair_bloom[col.bloom_hash(key)]
+        if not keep.any():
+            continue
+        I = I[keep]
+        J = J[keep]
+        vi = vi[keep]
+        vj = vj[keep]
+        key = key[keep]
+        slot = np.searchsorted(pair_keys, key)
+        valid = slot < len(pair_keys)
+        valid &= pair_keys[np.minimum(slot, len(pair_keys) - 1)] == key
+        if not valid.any():
+            continue
+        I = I[valid]
+        J = J[valid]
+        vi = vi[valid]
+        vj = vj[valid]
+        slot = slot[valid]
+
+        # Timeline bounds as edge-id ranks: t_k >= t_j - δ (the
+        # Triangle-I constraint) and t_k <= t_i + δ (the Triangle-III
+        # constraint), both inclusive, exactly as in the Python loop.
+        base_slot = slot * m_plus
+        idx_lo = np.searchsorted(pair_rank, base_slot + lo_eid[J])
+        idx_hi = np.searchsorted(pair_rank, base_slot + hi_eid[I])
+        split_i = np.searchsorted(pair_rank, base_slot + eid[I])
+        split_j = np.searchsorted(pair_rank, base_slot + eid[J] + 1)
+
+        cell_base = dirs[I] * 4 + dirs[J] * 2
+        base_masks = [(value, cell_base == value) for value in (0, 2, 4, 6)]
+        # dk is the third edge's direction relative to vi; pair dirs
+        # are normalised to the smaller endpoint, so flip when vi is
+        # the larger one (the Fig. 7 convention).
+        flip = vi > vj
+
+        for lo, hi, offset in (
+            (idx_lo, split_i, 0),  # e_k before e_i  → Triangle-I
+            (split_i, split_j, 8),  # e_k between     → Triangle-II
+            (split_j, idx_hi, 16),  # e_k after e_j   → Triangle-III
+        ):
+            span = hi - lo
+            n_in = pair_cum_in[hi] - pair_cum_in[lo]
+            n_dk1 = np.where(flip, span - n_in, n_in)
+            n_dk0 = span - n_dk1
+            # Exact int64 scatter-add over the four (di, dj) cells.
+            for value, mask in base_masks:
+                tri_acc[offset + value + 1] += int(n_dk1[mask].sum())
+                tri_acc[offset + value] += int(n_dk0[mask].sum())
+
+    return tri_acc

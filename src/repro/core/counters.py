@@ -75,6 +75,7 @@ class _FlatCounter:
         return self
 
     def copy(self):
+        """Independent deep copy (workers start from a private copy)."""
         return type(self)(list(self.data))
 
     def total(self) -> int:
@@ -94,9 +95,16 @@ class StarCounter(_FlatCounter):
     size = 24
 
     def get(self, star_type: int, d1: int, d2: int, d3: int) -> int:
+        """Count of ``Star[type, d1, d2, d3]`` (§IV-A.2, Table I).
+
+        ``star_type`` is 0/1/2 for Star-I/II/III (which edge is the
+        isolated one); ``d1..d3`` are the chronological edge
+        directions relative to the center (:data:`OUT`/:data:`IN`).
+        """
         return self.data[star_index(star_type, d1, d2, d3)]
 
     def add(self, star_type: int, d1: int, d2: int, d3: int, count: int = 1) -> None:
+        """Add ``count`` instances to one star cell (Algorithm 1 line 13)."""
         self.data[star_index(star_type, d1, d2, d3)] += count
 
     def cells(self) -> Iterable[Tuple[str, int]]:
@@ -137,9 +145,11 @@ class PairCounter(_FlatCounter):
     size = 8
 
     def get(self, d1: int, d2: int, d3: int) -> int:
+        """Count of ``Pair[d1, d2, d3]`` seen from one endpoint (§IV-A.3)."""
         return self.data[pair_index(d1, d2, d3)]
 
     def add(self, d1: int, d2: int, d3: int, count: int = 1) -> None:
+        """Add ``count`` instances to one pair cell (Algorithm 1 line 11)."""
         self.data[pair_index(d1, d2, d3)] += count
 
     def check_center_symmetry(self) -> bool:
@@ -181,18 +191,33 @@ class TriangleCounter(_FlatCounter):
         self.multiplicity = multiplicity
 
     def copy(self):
+        """Independent deep copy preserving the multiplicity mode."""
         return TriangleCounter(list(self.data), self.multiplicity)
 
     def merge(self, other: "_FlatCounter") -> "TriangleCounter":
+        """Reduce another triangle counter into this one (§IV-C).
+
+        Only counters of equal ``multiplicity`` are mergeable — mixing
+        a center-removal run into a dependency-free one would break
+        the per-motif division rule.
+        """
         if isinstance(other, TriangleCounter) and other.multiplicity != self.multiplicity:
             raise ValidationError("cannot merge TriangleCounters of different multiplicity")
         super().merge(other)
         return self
 
     def get(self, tri_type: int, di: int, dj: int, dk: int) -> int:
+        """Count of ``Tri[type, di, dj, dk]`` (§IV-B, Fig. 7).
+
+        ``tri_type`` is 0/1/2 for Triangle-I/II/III (where the far
+        edge ``e_k`` falls relative to the center's ``e_i``/``e_j``);
+        directions are relative to the corner the instance was
+        observed from.
+        """
         return self.data[star_index(tri_type, di, dj, dk)]
 
     def add(self, tri_type: int, di: int, dj: int, dk: int, count: int = 1) -> None:
+        """Add ``count`` instances to one triangle cell (Algorithm 2 line 19)."""
         self.data[star_index(tri_type, di, dj, dk)] += count
 
     def isomorphic_cells(self) -> Dict[str, List[Tuple[int, int, int, int]]]:
@@ -296,10 +321,12 @@ class MotifCounts:
 
     @classmethod
     def zeros(cls, **kwargs) -> "MotifCounts":
+        """An all-zero exact grid (identity element of ``+``)."""
         return cls(np.zeros((6, 6), dtype=np.int64), **kwargs)
 
     @classmethod
     def from_dict(cls, per_motif: Dict[str, int], **kwargs) -> "MotifCounts":
+        """Build a grid from ``{"M11": count, ...}`` names (Fig. 10 ids)."""
         grid = np.zeros((6, 6), dtype=np.int64)
         for name, value in per_motif.items():
             motif = MOTIFS_BY_NAME[name]
@@ -341,6 +368,28 @@ class MotifCounts:
 
     def per_motif(self) -> Dict[str, int]:
         return {m.name: self.get(m.row, m.col) for m in GRID.values()}
+
+    # -- provenance ---------------------------------------------------
+    @property
+    def backend(self) -> str:
+        """Effective execution backend (``"python"``/``"columnar"``).
+
+        Recorded by the registry dispatcher; defaults to ``"python"``
+        for results constructed outside it.
+        """
+        return str(self.meta.get("backend", "python"))
+
+    def dominant_phase(self) -> Optional[Tuple[str, float]]:
+        """The ``(name, seconds)`` phase that dominated the runtime.
+
+        ``None`` when the producing algorithm reported no per-phase
+        timings.  Lets callers see at a glance *where* a run spent its
+        time (e.g. ``star_pair`` vs ``triangle`` vs ``columnar_build``).
+        """
+        if not self.phase_seconds:
+            return None
+        name = max(self.phase_seconds, key=lambda k: self.phase_seconds[k])
+        return name, self.phase_seconds[name]
 
     # -- uncertainty (sampling estimators) ----------------------------
     def stderr_of(self, name: str) -> float:

@@ -135,6 +135,7 @@ def count_star_pair(
     delta: float,
     *,
     nodes: Optional[Sequence[int]] = None,
+    backend: str = "python",
 ) -> Tuple[StarCounter, PairCounter]:
     """Count all star and pair temporal motifs (FAST-Star, serial).
 
@@ -147,6 +148,11 @@ def count_star_pair(
     nodes:
         Optional subset of internal node ids to use as centers; the
         default is every node, which yields the complete exact counts.
+    backend:
+        ``"python"`` runs the interpreted per-edge scan above;
+        ``"columnar"`` runs the vectorized kernel of
+        :mod:`repro.core.columnar_kernels` over the graph's columnar
+        view — same exact counts, array-at-a-time execution.
 
     Returns
     -------
@@ -156,5 +162,11 @@ def count_star_pair(
     """
     if delta < 0:
         raise ValueError(f"delta must be non-negative, got {delta}")
+    if backend == "columnar":
+        from repro.core.columnar_kernels import count_star_pair_columnar
+
+        tasks = None if nodes is None else [(u, 0, None) for u in nodes]
+        star_data, pair_data = count_star_pair_columnar(graph, delta, tasks)
+        return StarCounter(star_data.tolist()), PairCounter(pair_data.tolist())
     center_ids = range(graph.num_nodes) if nodes is None else nodes
     return count_star_pair_tasks(graph, delta, ((u, 0, None) for u in center_ids))

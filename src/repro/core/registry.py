@@ -60,6 +60,13 @@ STAR_PAIR_CATEGORIES = ("all", "star", "pair", "star_pair")
 #: Category selections that require a triangle pass.
 TRIANGLE_CATEGORIES = ("all", "triangle")
 
+#: Execution backends a request may ask for.  ``"auto"`` resolves to
+#: the fastest backend the chosen algorithm declares (columnar when
+#: available, python otherwise); algorithms without vectorized kernels
+#: silently run their python path, so ``backend=`` never changes
+#: results, only execution strategy.
+BACKENDS = ("auto", "python", "columnar")
+
 
 @dataclass
 class CountRequest:
@@ -79,11 +86,16 @@ class CountRequest:
     schedule: str = "dynamic"
     seed: Optional[int] = None
     n_samples: Optional[int] = None
+    backend: str = "auto"
     params: Dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.delta is None or self.delta < 0:
             raise ValidationError(f"delta must be non-negative, got {self.delta}")
+        if self.backend not in BACKENDS:
+            raise ValidationError(
+                f"unknown backend {self.backend!r}; choose from {BACKENDS}"
+            )
         if self.categories not in CATEGORIES:
             raise ValidationError(
                 f"unknown categories {self.categories!r}; choose from {CATEGORIES}"
@@ -145,10 +157,23 @@ class CountRequest:
             n_samples = 1 if spec.is_exact else DEFAULT_SAMPLING_REPLICATES
         params = dict(spec.params)
         params.update(self.params)
+        # Resolve the backend to a concrete one: "auto" prefers the
+        # spec's first declared backend (specs list fastest first);
+        # an explicit choice the spec does not implement falls back to
+        # python — the backend knob selects execution strategy, never
+        # results, so every algorithm accepts it without signature
+        # churn.
+        if self.backend == "auto":
+            backend = spec.backends[0]
+        elif self.backend in spec.backends:
+            backend = self.backend
+        else:
+            backend = "python"
         return dataclasses.replace(
             self,
             seed=0 if self.seed is None else self.seed,
             n_samples=n_samples,
+            backend=backend,
             params=params,
         )
 
@@ -166,6 +191,9 @@ class AlgorithmSpec:
     is_exact: bool
     categories: Tuple[str, ...] = CATEGORIES
     parallel: bool = False
+    #: Backends the algorithm implements, fastest first ("auto" picks
+    #: the first).  Every algorithm has at least the python path.
+    backends: Tuple[str, ...] = ("python",)
     params: Mapping[str, object] = field(default_factory=dict)
     description: str = ""
 
@@ -176,6 +204,8 @@ class AlgorithmSpec:
     def describe(self) -> str:
         """One line for ``repro list-algorithms`` / ``--help``."""
         bits = [self.kind, "parallel" if self.parallel else "serial"]
+        if "columnar" in self.backends:
+            bits.append("columnar")
         if set(self.categories) != set(CATEGORIES):
             bits.append("categories: " + ",".join(self.categories))
         if self.params:
@@ -199,6 +229,7 @@ def register_algorithm(
     exact: bool,
     categories: Tuple[str, ...] = CATEGORIES,
     parallel: bool = False,
+    backends: Tuple[str, ...] = ("python",),
     params: Optional[Mapping[str, object]] = None,
     description: str = "",
     replace: bool = False,
@@ -219,6 +250,16 @@ def register_algorithm(
         )
     if "all" not in categories:
         raise ValidationError("invalid capability: every algorithm must support 'all'")
+    bad_backends = set(backends) - (set(BACKENDS) - {"auto"})
+    if bad_backends:
+        raise ValidationError(
+            f"invalid capability: backends {sorted(bad_backends)} not in "
+            f"{tuple(b for b in BACKENDS if b != 'auto')}"
+        )
+    if "python" not in backends:
+        raise ValidationError(
+            "invalid capability: every algorithm must implement the python backend"
+        )
 
     def decorator(func: Callable[[CountRequest], "MotifCounts"]) -> Callable:
         if name in _REGISTRY and not replace:
@@ -231,6 +272,7 @@ def register_algorithm(
             is_exact=exact,
             categories=tuple(categories),
             parallel=parallel,
+            backends=tuple(backends),
             params=dict(params or {}),
             description=description,
         )
@@ -306,14 +348,24 @@ def execute(request: CountRequest) -> "MotifCounts":
         from repro.core.counters import category_keep_mask
 
         grids = []
-        phase_seconds: Dict[str, float] = {}
+        inner_phases: Dict[str, float] = {}
+        sample_seconds: List[float] = []
         replicate = None
         assert req.seed is not None and req.n_samples is not None
         for i in range(req.n_samples):
             tick = time.perf_counter()
             replicate = spec.func(req.with_seed(req.seed + i))
-            phase_seconds[f"sample[{i}]"] = time.perf_counter() - tick
+            sample_seconds.append(time.perf_counter() - tick)
+            # Surface which inner phase dominated: sum each phase the
+            # replicates report.  Per-sample wall-clock goes to meta —
+            # keeping it out of phase_seconds so the dict stays a
+            # partition of the runtime, not a double count.
+            for phase, seconds in replicate.phase_seconds.items():
+                inner_phases[phase] = inner_phases.get(phase, 0.0) + seconds
             grids.append(np.asarray(replicate.grid, dtype=np.float64))
+        phase_seconds = inner_phases or {
+            f"sample[{i}]": seconds for i, seconds in enumerate(sample_seconds)
+        }
         # Mask the replicates before aggregating so per-cell stderr and
         # the total's stderr both describe the requested selection.
         stacked = np.stack(grids) * category_keep_mask(req.categories)
@@ -330,7 +382,7 @@ def execute(request: CountRequest) -> "MotifCounts":
             stderr=stderr,
             is_exact=False,
             phase_seconds=phase_seconds,
-            meta={"total_stderr": total_stderr},
+            meta={"total_stderr": total_stderr, "sample_seconds": sample_seconds},
         )
     result.delta = req.delta
     # Adapters may set a custom label (e.g. "hare[2]"); if one left the
@@ -338,6 +390,7 @@ def execute(request: CountRequest) -> "MotifCounts":
     if result.algorithm == "fast" and req.algorithm != "fast":
         result.algorithm = req.algorithm
     result.meta.setdefault("requested_algorithm", req.algorithm)
+    result.meta.setdefault("backend", req.backend)
     if not spec.is_exact:
         result.meta.setdefault("n_samples", req.n_samples)
         result.meta.setdefault("seed", req.seed)

@@ -30,11 +30,25 @@ graphs with simultaneous edges.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, List, NamedTuple, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
 from repro.errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.columnar import ColumnarGraph
 
 #: Direction flag: the edge points outward from the center node (u -> v).
 OUT = 0
@@ -167,6 +181,7 @@ class TemporalGraph:
 
         self._pair_index: Optional[Dict[Tuple[int, int], Tuple[List[float], List[int], List[int]]]] = None
         self._edge_lists: Optional[Tuple[List[int], List[int], List[float]]] = None
+        self._columnar: Optional["ColumnarGraph"] = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -244,12 +259,27 @@ class TemporalGraph:
         return self._index[label]
 
     def degree(self, node: int) -> int:
-        """Total number of temporal edges incident to ``node``."""
+        """Total number of temporal edges incident to ``node``.
+
+        This is the temporal degree ``d_u = |S_u|`` of §IV-A (each
+        multi-edge counts separately), the quantity HARE's scheduler
+        balances on.
+        """
         return len(self._sequences[node])
 
     def degrees(self) -> np.ndarray:
-        """Array of temporal degrees indexed by internal node id."""
-        return np.array([len(s) for s in self._sequences], dtype=np.int64)
+        """Array of temporal degrees ``d_u`` indexed by internal node id.
+
+        Computed vectorized (one :func:`np.bincount` over the edge
+        columns) so schedulers and statistics never loop over nodes in
+        Python.
+        """
+        if self.num_edges == 0:
+            return np.zeros(self.num_nodes, dtype=np.int64)
+        return (
+            np.bincount(self._src, minlength=self.num_nodes)
+            + np.bincount(self._dst, minlength=self.num_nodes)
+        ).astype(np.int64)
 
     # ------------------------------------------------------------------
     # algorithm-facing views
@@ -329,6 +359,23 @@ class TemporalGraph:
         """
         if self._pair_index is None:
             self._build_pair_index()
+
+    def columnar(self) -> "ColumnarGraph":
+        """The cached columnar (structure-of-arrays) view of this graph.
+
+        Built lazily on first access; see
+        :class:`repro.graph.columnar.ColumnarGraph` for the array
+        layout (timestamp-sorted edge columns, incidence CSR, pair
+        CSR).  The vectorized counting kernels selected with
+        ``backend="columnar"`` consume this view; like the pair index
+        it should be forced before forking parallel workers so the
+        arrays are shared copy-on-write.
+        """
+        if self._columnar is None:
+            from repro.graph.columnar import ColumnarGraph
+
+            self._columnar = ColumnarGraph(self)
+        return self._columnar
 
     def static_pairs(self) -> List[Tuple[int, int]]:
         """All unordered node pairs ``(a, b)``, ``a < b``, with edges."""

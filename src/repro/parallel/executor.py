@@ -32,11 +32,28 @@ _GRAPH: Optional[TemporalGraph] = None
 _DELTA: float = 0.0
 _DO_STAR_PAIR: bool = True
 _DO_TRIANGLE: bool = True
+_BACKEND: str = "python"
 
 
 def _run_batch(batch: WorkBatch) -> _WorkerResult:
     assert _GRAPH is not None
     star_data = pair_data = tri_data = None
+    if _BACKEND == "columnar":
+        # Vectorized kernels over the pre-forked columnar arrays; raw
+        # cell lists keep the IPC payload identical to the python path.
+        from repro.core.columnar_kernels import (
+            count_star_pair_columnar,
+            count_triangle_columnar,
+        )
+
+        if _DO_STAR_PAIR:
+            star_arr, pair_arr = count_star_pair_columnar(
+                _GRAPH, _DELTA, batch.tasks
+            )
+            star_data, pair_data = star_arr.tolist(), pair_arr.tolist()
+        if _DO_TRIANGLE:
+            tri_data = count_triangle_columnar(_GRAPH, _DELTA, batch.tasks).tolist()
+        return (star_data, pair_data, tri_data)
     if _DO_STAR_PAIR:
         star, pair = count_star_pair_tasks(_GRAPH, _DELTA, batch.tasks)
         star_data, pair_data = star.data, pair.data
@@ -61,21 +78,36 @@ def run_batches(
     schedule: str = "dynamic",
     star_pair: bool = True,
     triangle: bool = True,
+    backend: str = "python",
 ) -> Tuple[Optional[StarCounter], Optional[PairCounter], Optional[TriangleCounter]]:
     """Execute work batches and reduce the per-worker counters.
 
     ``schedule`` is ``"dynamic"`` (workers pull batches as they
     finish) or ``"static"`` (batches must already be pre-assigned via
     :func:`~repro.parallel.scheduler.partition_static`; they are
-    mapped one-to-one onto workers).
+    mapped one-to-one onto workers).  ``backend`` selects the kernels
+    workers run (``"python"`` loops or ``"columnar"`` vectorized);
+    either way the shared read-only view is forced *before* forking so
+    children inherit it copy-on-write instead of rebuilding it.
     """
     if schedule not in ("dynamic", "static"):
         raise ValidationError(f"schedule must be 'dynamic' or 'static', got {schedule!r}")
     if workers < 1:
         raise ValidationError(f"workers must be >= 1, got {workers}")
+    if backend not in ("python", "columnar"):
+        raise ValidationError(
+            f"backend must be 'python' or 'columnar', got {backend!r}"
+        )
 
-    global _GRAPH, _DELTA, _DO_STAR_PAIR, _DO_TRIANGLE
-    if triangle:
+    global _GRAPH, _DELTA, _DO_STAR_PAIR, _DO_TRIANGLE, _BACKEND
+    if backend == "columnar":
+        from repro.core.columnar_kernels import warm_delta_cache
+
+        # Build the store AND the per-δ kernel tables before forking:
+        # every worker then reads them copy-on-write instead of
+        # repeating the O(m log m) setup per batch.
+        warm_delta_cache(graph.columnar(), delta, star_pair=star_pair)
+    elif triangle:
         graph.ensure_pair_index()
 
     star = StarCounter() if star_pair else None
@@ -96,6 +128,7 @@ def run_batches(
     _DELTA = delta
     _DO_STAR_PAIR = star_pair
     _DO_TRIANGLE = triangle
+    _BACKEND = backend
     try:
         if workers == 1 or ctx is None or not batches:
             for batch in batches:

@@ -43,13 +43,15 @@ def hare_count(
     schedule: str = "dynamic",
     categories: str = "all",
     split_factor: int = 4,
+    backend: str = "python",
 ) -> MotifCounts:
     """Count all motifs with the HARE parallel framework.
 
     Parameters mirror :func:`repro.core.api.count_motifs`; see
     :func:`repro.parallel.scheduler.build_batches` for ``thrd`` and
-    ``split_factor`` semantics.  Results are bit-identical to the
-    serial FAST pass.
+    ``split_factor`` semantics.  ``backend`` selects the per-worker
+    kernels (python loops or vectorized columnar).  Results are
+    bit-identical to the serial FAST pass either way.
     """
     if delta < 0:
         raise ValidationError(f"delta must be non-negative, got {delta}")
@@ -58,17 +60,18 @@ def hare_count(
     batches = _prepare_batches(graph, workers, thrd, schedule, split_factor)
     star, pair, tri = run_batches(
         graph, delta, batches, workers, schedule,
-        star_pair=star_pair, triangle=triangle,
+        star_pair=star_pair, triangle=triangle, backend=backend,
     )
     result = MotifCounts.from_counters(
         star, pair, tri, algorithm=f"hare[{workers}]", delta=delta,
-        meta={"workers": workers, "schedule": schedule},
+        meta={"workers": workers, "schedule": schedule, "backend": backend},
     )
     return result.masked(categories)
 
 
 def hare_count_request(request: "CountRequest") -> MotifCounts:
     """Registry adapter entry: run HARE from a resolved CountRequest."""
+    backend = request.backend if request.backend in ("python", "columnar") else "python"
     return hare_count(
         request.graph,
         request.delta,
@@ -76,6 +79,7 @@ def hare_count_request(request: "CountRequest") -> MotifCounts:
         thrd=request.thrd,
         schedule=request.schedule,
         categories=request.categories,
+        backend=backend,
     )
 
 
@@ -87,11 +91,13 @@ def hare_star_pair(
     thrd: Optional[float] = None,
     schedule: str = "dynamic",
     split_factor: int = 4,
+    backend: str = "python",
 ) -> Tuple[StarCounter, PairCounter]:
     """Parallel FAST-Star pass (the paper's HARE-Pair workload)."""
     batches = _prepare_batches(graph, workers, thrd, schedule, split_factor)
     star, pair, _ = run_batches(
-        graph, delta, batches, workers, schedule, star_pair=True, triangle=False
+        graph, delta, batches, workers, schedule,
+        star_pair=True, triangle=False, backend=backend,
     )
     assert star is not None and pair is not None
     return star, pair
@@ -105,11 +111,13 @@ def hare_triangle(
     thrd: Optional[float] = None,
     schedule: str = "dynamic",
     split_factor: int = 4,
+    backend: str = "python",
 ) -> TriangleCounter:
     """Parallel FAST-Tri pass."""
     batches = _prepare_batches(graph, workers, thrd, schedule, split_factor)
     _, _, tri = run_batches(
-        graph, delta, batches, workers, schedule, star_pair=False, triangle=True
+        graph, delta, batches, workers, schedule,
+        star_pair=False, triangle=True, backend=backend,
     )
     assert tri is not None
     return tri

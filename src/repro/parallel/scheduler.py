@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+import numpy as np
+
 from repro.errors import ValidationError
 from repro.graph.statistics import default_degree_threshold
 from repro.graph.temporal_graph import TemporalGraph
@@ -76,29 +78,25 @@ def build_batches(
     if thrd is None:
         thrd = default_degree_threshold(graph, 20)
 
-    heavy: List[int] = []
-    light: List[Tuple[int, int]] = []
-    total_light = 0
-    for node in range(graph.num_nodes):
-        degree = graph.degree(node)
-        if degree < 2:
-            # A degree-1 center can host nothing: stars/pairs need three
-            # incident edges and FAST-Tri needs the (ei, ej) pair.  A
-            # degree-2 center still matters for triangles — the third
-            # edge lives on the far pair, not on the center.
-            continue
-        if degree > thrd:
-            heavy.append(node)
-        else:
-            light.append((node, degree))
-            total_light += degree
+    # Classify all nodes in one vectorized pass over the degree column.
+    # A degree-1 center can host nothing: stars/pairs need three
+    # incident edges and FAST-Tri needs the (ei, ej) pair.  A degree-2
+    # center still matters for triangles — the third edge lives on the
+    # far pair, not on the center.
+    degrees = graph.degrees()
+    eligible = degrees >= 2
+    heavy_mask = eligible & (degrees > thrd)
+    light_mask = eligible & ~heavy_mask
+    heavy = np.flatnonzero(heavy_mask)
+    light_nodes = np.flatnonzero(light_mask)
+    light_degrees = degrees[light_nodes]
 
     batches: List[WorkBatch] = []
 
     # Intra-node splitting of heavy centers.
     pieces = max(2, workers * split_factor)
-    for node in heavy:
-        degree = graph.degree(node)
+    for node in heavy.tolist():
+        degree = int(degrees[node])
         step = max(1, -(-degree // pieces))  # ceil division
         lo = 0
         while lo < degree:
@@ -109,17 +107,25 @@ def build_batches(
             batches.append(batch)
             lo = hi
 
-    # Light nodes grouped by total degree.
-    if light:
+    # Light nodes grouped into roughly equal-degree batches: boundary
+    # assignment is one cumulative sum sliced at multiples of the
+    # target weight, instead of a per-node accumulation loop.
+    if len(light_nodes):
+        total_light = int(light_degrees.sum())
         target = max(1, total_light // max(1, workers * light_batches_per_worker))
-        current = WorkBatch()
-        for node, degree in light:
-            current.add((node, 0, None), degree)
-            if current.weight >= target:
-                batches.append(current)
-                current = WorkBatch()
-        if current.tasks:
-            batches.append(current)
+        group = np.minimum(
+            np.cumsum(light_degrees) - 1, total_light - 1
+        ) // target
+        boundaries = np.flatnonzero(
+            np.concatenate(([True], group[1:] != group[:-1]))
+        ).tolist() + [len(light_nodes)]
+        node_list = light_nodes.tolist()
+        degree_list = light_degrees.tolist()
+        for lo, hi in zip(boundaries[:-1], boundaries[1:]):
+            batch = WorkBatch()
+            for idx in range(lo, hi):
+                batch.add((node_list[idx], 0, None), degree_list[idx])
+            batches.append(batch)
 
     # Heaviest-first so dynamic scheduling starts stragglers early.
     batches.sort(key=lambda b: b.weight, reverse=True)

@@ -1,0 +1,210 @@
+"""Columnar backend: kernel equivalence, backend plumbing, HARE parity.
+
+The load-bearing guarantee of the columnar backend is *bit-identical
+counts*: every test here compares against the pure-Python loops, which
+are themselves validated against the brute-force reference elsewhere.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.api import count_motifs
+from repro.core.columnar_kernels import (
+    count_star_pair_columnar,
+    count_triangle_columnar,
+)
+from repro.core.fast_star import count_star_pair, count_star_pair_tasks
+from repro.core.fast_tri import count_triangle, count_triangle_tasks
+from repro.core.registry import CountRequest, execute, get_algorithm
+from repro.errors import ValidationError
+from repro.graph.generators import (
+    powerlaw_temporal_graph,
+    triangle_rich_graph,
+    uniform_temporal_graph,
+)
+from repro.graph.temporal_graph import TemporalGraph
+from repro.parallel.scheduler import build_batches
+from tests.conftest import random_graph
+
+#: Every registered algorithm (the seven built-ins).
+ALL_ALGORITHMS = ("fast", "ex", "bruteforce", "bt", "twoscent", "bts", "ews")
+
+
+class TestKernelEquivalence:
+    """Property tests: columnar kernels == Python loops, cell for cell."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    @pytest.mark.parametrize("delta", [0, 1, 4, 7.5, 50])
+    def test_star_pair_kernel_matches(self, seed, delta):
+        g = random_graph(seed, num_nodes=5 + seed % 4, num_edges=12 + 3 * seed)
+        star_py, pair_py = count_star_pair(g, delta)
+        star_col, pair_col = count_star_pair_columnar(g, delta)
+        assert list(star_col) == star_py.data
+        assert list(pair_col) == pair_py.data
+
+    @pytest.mark.parametrize("seed", range(12))
+    @pytest.mark.parametrize("delta", [0, 1, 4, 7.5, 50])
+    def test_triangle_kernel_matches(self, seed, delta):
+        g = random_graph(seed, num_nodes=5 + seed % 4, num_edges=12 + 3 * seed)
+        assert list(count_triangle_columnar(g, delta)) == count_triangle(g, delta).data
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_float_timestamps(self, seed):
+        rng = random.Random(seed)
+        edges = []
+        for _ in range(40):
+            u = rng.randrange(7)
+            v = (u + rng.randrange(1, 7)) % 7
+            edges.append((u, v, rng.uniform(0, 30)))
+        g = TemporalGraph(edges)
+        star_py, pair_py = count_star_pair(g, 6.5)
+        star_col, pair_col = count_star_pair_columnar(g, 6.5)
+        assert list(star_col) == star_py.data
+        assert list(pair_col) == pair_py.data
+        assert list(count_triangle_columnar(g, 6.5)) == count_triangle(g, 6.5).data
+
+    def test_generator_graphs(self):
+        for g, delta in [
+            (powerlaw_temporal_graph(120, 1200, seed=5), 5000.0),
+            (uniform_temporal_graph(40, 600, seed=2), 50.0),
+            (triangle_rich_graph(60, gap=4, seed=3), 40.0),
+        ]:
+            star_py, pair_py = count_star_pair(g, delta)
+            star_col, pair_col = count_star_pair_columnar(g, delta)
+            assert list(star_col) == star_py.data
+            assert list(pair_col) == pair_py.data
+            tri_py = count_triangle(g, delta)
+            assert list(count_triangle_columnar(g, delta)) == tri_py.data
+
+    @pytest.mark.parametrize(
+        "edges",
+        [
+            [],
+            [(0, 1, 5)],
+            [(0, 1, 1), (1, 0, 1)],
+            [(0, 1, 1), (0, 1, 1), (0, 1, 1)],  # duplicate multi-edges
+        ],
+    )
+    def test_degenerate_graphs(self, edges):
+        g = TemporalGraph(edges)
+        star_py, pair_py = count_star_pair(g, 2)
+        star_col, pair_col = count_star_pair_columnar(g, 2)
+        assert list(star_col) == star_py.data
+        assert list(pair_col) == pair_py.data
+        assert list(count_triangle_columnar(g, 2)) == count_triangle(g, 2).data
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_task_union_matches(self, seed):
+        """Merged task results equal the serial count (HARE contract)."""
+        g = random_graph(seed, num_nodes=8, num_edges=40)
+        tasks = [t for b in build_batches(g, workers=3, thrd=5) for t in b.tasks]
+        star_py, pair_py = count_star_pair_tasks(g, 4, tasks)
+        tri_py = count_triangle_tasks(g, 4, tasks)
+        star_col, pair_col = count_star_pair_columnar(g, 4, tasks)
+        assert list(star_col) == star_py.data
+        assert list(pair_col) == pair_py.data
+        assert list(count_triangle_columnar(g, 4, tasks, chunk_pairs=5)) == tri_py.data
+
+    def test_tiny_chunks_change_nothing(self):
+        g = random_graph(9, num_nodes=7, num_edges=35)
+        tri_big = count_triangle_columnar(g, 6)
+        tri_small = count_triangle_columnar(g, 6, chunk_pairs=3)
+        assert list(tri_big) == list(tri_small)
+
+
+class TestBackendAcrossAlgorithms:
+    """Property test: python and columnar backends agree for all seven."""
+
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_backends_identical(self, algorithm, seed):
+        g = random_graph(seed, num_nodes=7, num_edges=30)
+        kwargs = {}
+        spec = get_algorithm(algorithm)
+        if not spec.is_exact:
+            kwargs = {"seed": 7, "n_samples": 2}
+        py = count_motifs(g, 6, algorithm=algorithm, backend="python", **kwargs)
+        col = count_motifs(g, 6, algorithm=algorithm, backend="columnar", **kwargs)
+        assert py.same_counts(col), algorithm
+        assert py.meta["backend"] == "python"
+        # Algorithms without a columnar implementation fall back.
+        expected = "columnar" if "columnar" in spec.backends else "python"
+        assert col.meta["backend"] == expected
+
+    def test_auto_prefers_columnar_for_fast(self, paper_graph):
+        result = count_motifs(paper_graph, 10)
+        assert result.backend == "columnar"
+        assert result.total() == 27
+
+    def test_auto_is_python_for_bt(self, paper_graph):
+        result = count_motifs(paper_graph, 10, algorithm="bt")
+        assert result.backend == "python"
+
+    def test_categories_masked_identically(self, paper_graph):
+        for categories in ("star", "pair", "triangle", "star_pair"):
+            py = count_motifs(paper_graph, 10, categories=categories, backend="python")
+            col = count_motifs(
+                paper_graph, 10, categories=categories, backend="columnar"
+            )
+            assert py.same_counts(col), categories
+
+
+class TestBackendPlumbing:
+    def test_unknown_backend_rejected(self, paper_graph):
+        with pytest.raises(ValidationError, match="backend"):
+            CountRequest(graph=paper_graph, delta=10, backend="gpu")
+
+    def test_resolve_concretizes_auto(self, paper_graph):
+        spec = get_algorithm("fast")
+        req = CountRequest(graph=paper_graph, delta=10).resolve(spec)
+        assert req.backend == "columnar"
+        spec = get_algorithm("bt")
+        req = CountRequest(graph=paper_graph, delta=10, algorithm="bt").resolve(spec)
+        assert req.backend == "python"
+
+    def test_remove_centers_rejects_columnar(self, paper_graph):
+        with pytest.raises(ValidationError, match="sequential"):
+            count_triangle(paper_graph, 10, remove_centers=True, backend="columnar")
+
+    def test_phase_seconds_include_columnar_build(self, paper_graph):
+        result = execute(
+            CountRequest(graph=paper_graph, delta=10, backend="columnar")
+        )
+        assert "columnar_build" in result.phase_seconds
+        assert "star_pair" in result.phase_seconds
+        assert result.dominant_phase() is not None
+
+    def test_replicate_phases_are_surfaced(self, paper_graph):
+        result = count_motifs(
+            paper_graph, 10, algorithm="bts", seed=0, n_samples=2, q=0.5
+        )
+        # phase_seconds partitions the runtime (inner phases summed
+        # across replicates, or per-sample totals as fallback) ...
+        assert result.phase_seconds
+        assert result.dominant_phase() is not None
+        # ... and per-sample wall-clock lives in meta, not mixed in:
+        # sample[i] keys appear only as the all-or-nothing fallback.
+        assert len(result.meta["sample_seconds"]) == 2
+        sample_keys = {
+            key for key in result.phase_seconds if key.startswith("sample[")
+        }
+        assert sample_keys in (set(), set(result.phase_seconds))
+
+
+class TestHareColumnar:
+    @pytest.mark.parametrize("schedule", ["dynamic", "static"])
+    def test_parallel_columnar_matches_serial(self, schedule):
+        g = powerlaw_temporal_graph(80, 900, seed=4)
+        serial = count_motifs(g, 4000, backend="python")
+        parallel = count_motifs(
+            g, 4000, workers=2, schedule=schedule, backend="columnar"
+        )
+        assert serial.same_counts(parallel)
+        assert parallel.meta["backend"] == "columnar"
+
+    def test_single_worker_pool_fallback(self, paper_graph):
+        parallel = count_motifs(paper_graph, 10, workers=2, backend="columnar")
+        assert parallel.total() == 27

@@ -49,6 +49,29 @@ class TestCount:
         ) == 0
         assert json.loads(capsys.readouterr().out)["total"] == 27
 
+    @pytest.mark.parametrize("backend", ["auto", "python", "columnar"])
+    def test_count_backend(self, edge_file, backend, capsys):
+        assert main(
+            ["count", "--input", edge_file, "--delta", "10",
+             "--backend", backend, "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total"] == 27
+        expected = "python" if backend == "python" else "columnar"
+        assert payload["backend"] == expected
+
+    def test_count_json_surfaces_phase_seconds(self, edge_file, capsys):
+        assert main(["count", "--input", edge_file, "--delta", "10", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["phase_seconds"]) >= {"star_pair", "triangle"}
+        assert payload["dominant_phase"] in payload["phase_seconds"]
+
+    def test_count_text_shows_backend_and_phases(self, edge_file, capsys):
+        assert main(["count", "--input", edge_file, "--delta", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "backend: columnar" in out
+        assert "dominant:" in out
+
     def test_count_categories(self, edge_file, capsys):
         assert main(
             ["count", "--input", edge_file, "--delta", "10",

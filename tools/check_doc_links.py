@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Markdown link checker for the docs tree (CI docs job).
+
+Scans the repository's markdown pages for relative links and fails if
+any target file is missing — the offline equivalent of a link-check
+service (external http(s) links and pure anchors are skipped).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+from typing import List
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+PAGES = sorted(
+    list(ROOT.glob("*.md")) + list((ROOT / "docs").glob("*.md"))
+)
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def check() -> List[str]:
+    errors = []
+    for page in PAGES:
+        for target in LINK.findall(page.read_text()):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (page.parent / path).resolve()
+            if not resolved.exists():
+                errors.append(f"{page.relative_to(ROOT)}: broken link -> {target}")
+    return errors
+
+
+def main() -> int:
+    errors = check()
+    for error in errors:
+        print(error)
+    print(
+        f"checked {len(PAGES)} pages: "
+        + ("OK" if not errors else f"{len(errors)} broken link(s)")
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
