@@ -75,7 +75,8 @@ def test_table3_fast_tri(benchmark, dataset):
 def test_table3_report(benchmark):
     result = once(benchmark, lambda: run_table3(scale=SCALE, delta=DELTA))
     speedups = result.data["speedups"]
-    mean = lambda xs: sum(xs) / len(xs)
+    def mean(xs):
+        return sum(xs) / len(xs)
     # The paper's headline shapes (§V-E): FAST wins each comparison on
     # average across the sixteen datasets.
     assert mean(speedups["fast"]) > 1.0, "FAST should beat EX on average"

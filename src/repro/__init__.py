@@ -34,17 +34,31 @@ Multi-δ / multi-algorithm batches go through one call:
 >>> sweep.get("ex", 10)["M63"]
 1
 
+Temporal graphs are naturally streams: the incremental engine counts
+over a sliding window without ever recounting from scratch, emitting
+checkpoints that are bit-identical to a batch recount of the live set:
+
+>>> from repro import stream_motifs
+>>> edges = [(0, 1, 4), (0, 1, 8), (2, 0, 9)]
+>>> [cp.counts.total() for cp in stream_motifs(edges, delta=10)]
+[1]
+
 Adding a backend is one decorated function — see
 :func:`repro.core.registry.register_algorithm` and docs/extending.md.
 """
 
-from repro.core.api import count_motifs, count_motifs_sweep, SweepResult
+from repro.core.api import count_motifs, count_motifs_sweep, stream_motifs, SweepResult
 from repro.core.registry import (
     AlgorithmSpec,
     CountRequest,
+    StreamRequest,
     available_algorithms,
+    open_stream,
     register_algorithm,
+    streaming_algorithms,
 )
+from repro.core.streaming import Checkpoint, StreamingMotifEngine
+from repro.graph.stream_store import StreamingEdgeStore
 from repro.core.counters import MotifCounts, PairCounter, StarCounter, TriangleCounter
 from repro.core.motifs import ALL_MOTIFS, GRID, MOTIFS_BY_NAME, Motif, MotifCategory
 from repro.core.patterns import HIGHER_ORDER_PATTERNS, count_higher_order
@@ -66,8 +80,15 @@ __version__ = "1.0.0"
 __all__ = [
     "count_motifs",
     "count_motifs_sweep",
+    "stream_motifs",
     "SweepResult",
     "CountRequest",
+    "StreamRequest",
+    "Checkpoint",
+    "StreamingMotifEngine",
+    "StreamingEdgeStore",
+    "open_stream",
+    "streaming_algorithms",
     "AlgorithmSpec",
     "register_algorithm",
     "available_algorithms",

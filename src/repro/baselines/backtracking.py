@@ -30,9 +30,7 @@ from repro.core.counters import MotifCounts
 from repro.core.motifs import (
     ALL_MOTIFS,
     Motif,
-    MotifCategory,
     PAIR_MOTIFS,
-    CanonicalForm,
 )
 from repro.errors import ValidationError
 from repro.graph.temporal_graph import IN, OUT, TemporalGraph
@@ -75,7 +73,6 @@ def match_instances(
     if delta < 0:
         raise ValidationError(f"delta must be non-negative, got {delta}")
     _check_pattern(pattern)
-    l = len(pattern)
     src, dst, t = graph.edge_lists()
     m = graph.num_edges
 

@@ -33,11 +33,8 @@ then *degrades* (Fig. 11).
 
 from __future__ import annotations
 
-import os
 from itertools import product
 from typing import Dict, List, Optional, Sequence, Tuple
-
-import numpy as np
 
 from repro.baselines.window_counter import count_sequences
 from repro.core.counters import MotifCounts

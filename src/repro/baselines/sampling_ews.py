@@ -30,7 +30,7 @@ import numpy as np
 from repro.core.counters import MotifCounts
 from repro.core.motifs import classify_triple
 from repro.errors import ValidationError
-from repro.graph.temporal_graph import IN, OUT, TemporalGraph
+from repro.graph.temporal_graph import OUT, TemporalGraph
 
 
 def _later_incident_edges(

@@ -40,12 +40,20 @@ def _category_motifs(categories: str) -> List["object"]:
     }[categories]
 
 
+def _fast_stream_factory(request):
+    """Build the incremental engine for ``algorithm="fast"`` streams."""
+    from repro.core.streaming import StreamingMotifEngine
+
+    return StreamingMotifEngine(request)
+
+
 @register_algorithm(
     "fast",
     exact=True,
     parallel=True,
     backends=("columnar", "python"),
     description="FAST-Star + FAST-Tri (this paper); HARE when workers > 1",
+    stream_factory=_fast_stream_factory,
 )
 def _fast(request: CountRequest) -> MotifCounts:
     if request.workers > 1:

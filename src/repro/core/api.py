@@ -21,8 +21,10 @@ from repro.core.counters import MotifCounts
 from repro.core.registry import (
     CATEGORIES,
     CountRequest,
+    StreamRequest,
     available_algorithms,
     execute,
+    open_stream,
 )
 from repro.errors import ValidationError
 from repro.graph.temporal_graph import TemporalGraph
@@ -39,9 +41,12 @@ def __getattr__(name: str):
 __all__ = [
     "ALGORITHMS",
     "CATEGORIES",
+    "StreamRequest",
     "SweepResult",
     "count_motifs",
     "count_motifs_sweep",
+    "open_stream",
+    "stream_motifs",
 ]
 
 
@@ -149,6 +154,57 @@ def count_motifs(
         params=dict(params),
     )
     return execute(request)
+
+
+def stream_motifs(
+    edges,
+    delta: float,
+    *,
+    window: Optional[float] = None,
+    algorithm: str = "fast",
+    categories: str = "all",
+    backend: str = "auto",
+    workers: int = 1,
+    checkpoint_every: int = 10_000,
+    batch_edges: Optional[int] = None,
+    **params: object,
+):
+    """Replay an edge iterable and yield per-checkpoint counts.
+
+    The one-call streaming API: builds a
+    :class:`~repro.core.registry.StreamRequest`, opens the incremental
+    engine through the registry (:func:`~repro.core.registry.open_stream`)
+    and drives ``edges`` through it, yielding a
+    :class:`~repro.core.streaming.Checkpoint` every
+    ``checkpoint_every`` edges (plus a final one for any trailing
+    partial interval).  Checkpoint counts are bit-identical to a batch
+    :func:`count_motifs` recount of the engine's live edge set.
+
+    Parameters mirror :func:`count_motifs` where they overlap;
+    ``window`` is the sliding-window width (``None`` = append-only)
+    and ``batch_edges`` the ingest micro-batch size (default: one
+    batch per checkpoint interval).
+
+    >>> from repro.core.api import stream_motifs
+    >>> edges = [(0, 1, t) for t in range(6)]
+    >>> [cp.counts.total() for cp in stream_motifs(edges, 10, checkpoint_every=3)]
+    [1, 20]
+    """
+    request = StreamRequest(
+        delta=delta,
+        window=window,
+        algorithm=algorithm,
+        categories=categories,
+        backend=backend,
+        workers=workers,
+        checkpoint_every=checkpoint_every,
+        params=dict(params),
+    )
+    # Plain function returning the replay generator (not a generator
+    # function): validation errors surface at the call site, exactly
+    # like count_motifs.
+    engine = open_stream(request)
+    return engine.replay(edges, batch_edges=batch_edges)
 
 
 @dataclass

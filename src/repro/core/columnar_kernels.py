@@ -375,9 +375,9 @@ def count_triangle_columnar(
     counts = np.maximum(we[anchors] - (anchors + 1), 0)
 
     for a, b in _chunks(counts, chunk_pairs):
-        I, J = _expand_pairs(anchors[a:b], counts[a:b], gap=1)
-        vi = nbr[I]
-        vj = nbr[J]
+        pos_i, pos_j = _expand_pairs(anchors[a:b], counts[a:b], gap=1)
+        vi = nbr[pos_i]
+        vj = nbr[pos_j]
         # A wedge needs distinct far endpoints whose pair exists at
         # all; the Bloom gather rejects the bulk of open wedges before
         # any binary search runs.
@@ -385,8 +385,8 @@ def count_triangle_columnar(
         keep = (vi != vj) & col.pair_bloom[col.bloom_hash(key)]
         if not keep.any():
             continue
-        I = I[keep]
-        J = J[keep]
+        pos_i = pos_i[keep]
+        pos_j = pos_j[keep]
         vi = vi[keep]
         vj = vj[keep]
         key = key[keep]
@@ -395,8 +395,8 @@ def count_triangle_columnar(
         valid &= pair_keys[np.minimum(slot, len(pair_keys) - 1)] == key
         if not valid.any():
             continue
-        I = I[valid]
-        J = J[valid]
+        pos_i = pos_i[valid]
+        pos_j = pos_j[valid]
         vi = vi[valid]
         vj = vj[valid]
         slot = slot[valid]
@@ -405,12 +405,12 @@ def count_triangle_columnar(
         # Triangle-I constraint) and t_k <= t_i + δ (the Triangle-III
         # constraint), both inclusive, exactly as in the Python loop.
         base_slot = slot * m_plus
-        idx_lo = np.searchsorted(pair_rank, base_slot + lo_eid[J])
-        idx_hi = np.searchsorted(pair_rank, base_slot + hi_eid[I])
-        split_i = np.searchsorted(pair_rank, base_slot + eid[I])
-        split_j = np.searchsorted(pair_rank, base_slot + eid[J] + 1)
+        idx_lo = np.searchsorted(pair_rank, base_slot + lo_eid[pos_j])
+        idx_hi = np.searchsorted(pair_rank, base_slot + hi_eid[pos_i])
+        split_i = np.searchsorted(pair_rank, base_slot + eid[pos_i])
+        split_j = np.searchsorted(pair_rank, base_slot + eid[pos_j] + 1)
 
-        cell_base = dirs[I] * 4 + dirs[J] * 2
+        cell_base = dirs[pos_i] * 4 + dirs[pos_j] * 2
         base_masks = [(value, cell_base == value) for value in (0, 2, 4, 6)]
         # dk is the third edge's direction relative to vi; pair dirs
         # are normalised to the smaller endpoint, so flip when vi is

@@ -19,7 +19,6 @@ analogue) and the paper's de-duplication rules.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -28,7 +27,6 @@ import numpy as np
 from repro.errors import ValidationError
 from repro.core import motifs as motif_mod
 from repro.core.motifs import (
-    Motif,
     MotifCategory,
     GRID,
     MOTIFS_BY_NAME,

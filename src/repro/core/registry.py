@@ -68,6 +68,41 @@ TRIANGLE_CATEGORIES = ("all", "triangle")
 BACKENDS = ("auto", "python", "columnar")
 
 
+def _check_capabilities(
+    spec: "AlgorithmSpec",
+    *,
+    categories: str,
+    workers: int,
+    params: Mapping[str, object],
+) -> Dict[str, object]:
+    """Validate shared request knobs against a spec; return merged params.
+
+    The capability checks common to batch (:class:`CountRequest`) and
+    streaming (:class:`StreamRequest`) resolution: category support,
+    parallel support, and unknown algorithm parameters.  Returns the
+    request's ``params`` merged over the spec's declared defaults.
+    """
+    if categories not in spec.categories:
+        raise ValidationError(
+            f"algorithm {spec.name!r} does not support categories="
+            f"{categories!r} (supported: {spec.categories})"
+        )
+    if workers > 1 and not spec.parallel:
+        raise ValidationError(
+            f"algorithm {spec.name!r} does not support parallel execution "
+            f"(workers={workers})"
+        )
+    unknown = set(params) - set(spec.params)
+    if unknown:
+        raise ValidationError(
+            f"unknown parameter(s) {sorted(unknown)} for algorithm "
+            f"{spec.name!r} (accepted: {sorted(spec.params)})"
+        )
+    merged = dict(spec.params)
+    merged.update(params)
+    return merged
+
+
 @dataclass
 class CountRequest:
     """A validated, normalized description of one counting run.
@@ -127,22 +162,9 @@ class CountRequest:
         Returns a new request with ``seed``/``n_samples`` made concrete
         and ``params`` merged over the spec's declared defaults.
         """
-        if self.categories not in spec.categories:
-            raise ValidationError(
-                f"algorithm {spec.name!r} does not support categories="
-                f"{self.categories!r} (supported: {spec.categories})"
-            )
-        if self.workers > 1 and not spec.parallel:
-            raise ValidationError(
-                f"algorithm {spec.name!r} does not support parallel execution "
-                f"(workers={self.workers})"
-            )
-        unknown = set(self.params) - set(spec.params)
-        if unknown:
-            raise ValidationError(
-                f"unknown parameter(s) {sorted(unknown)} for algorithm "
-                f"{spec.name!r} (accepted: {sorted(spec.params)})"
-            )
+        params = _check_capabilities(
+            spec, categories=self.categories, workers=self.workers, params=self.params
+        )
         if spec.is_exact and self.n_samples is not None and self.n_samples > 1:
             raise ValidationError(
                 f"n_samples applies to sampling algorithms only; "
@@ -155,8 +177,6 @@ class CountRequest:
         n_samples = self.n_samples
         if n_samples is None:
             n_samples = 1 if spec.is_exact else DEFAULT_SAMPLING_REPLICATES
-        params = dict(spec.params)
-        params.update(self.params)
         # Resolve the backend to a concrete one: "auto" prefers the
         # spec's first declared backend (specs list fastest first);
         # an explicit choice the spec does not implement falls back to
@@ -182,6 +202,104 @@ class CountRequest:
         return dataclasses.replace(self, seed=seed)
 
 
+@dataclass
+class StreamRequest:
+    """A validated description of one *streaming* counting session.
+
+    The streaming analogue of :class:`CountRequest`: instead of one
+    graph and one answer, it configures an incremental engine
+    (obtained via :func:`open_stream`) that ingests timestamped edges,
+    maintains counts over a sliding window, and emits checkpoints.
+
+    Parameters
+    ----------
+    delta:
+        The motif time constraint δ, as in :class:`CountRequest`.
+    window:
+        Sliding-window width ``W``: after observing latest time ``T``
+        the live edge set is ``{t : T - W <= t <= T}`` (edges below
+        ``T - W`` are evicted; arrivals below the high-water mark are
+        dropped as late).  ``None`` (default) disables expiry — the
+        stream is append-only.
+    checkpoint_every:
+        Edges per checkpoint when replaying with
+        ``StreamingMotifEngine.replay``; explicit ``checkpoint()``
+        calls are always allowed.
+    parallel_min_edges:
+        Minimum dirty-slice size before ``workers > 1`` engages the
+        HARE pool for a micro-batch (see
+        :mod:`repro.core.stream_kernels`).
+    """
+
+    delta: float
+    window: Optional[float] = None
+    algorithm: str = "fast"
+    categories: str = "all"
+    backend: str = "auto"
+    workers: int = 1
+    checkpoint_every: int = 10_000
+    parallel_min_edges: int = 200_000
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.delta is None or self.delta < 0:
+            raise ValidationError(f"delta must be non-negative, got {self.delta}")
+        if self.window is not None and self.window <= 0:
+            raise ValidationError(
+                f"window must be positive (or None for unbounded), got {self.window}"
+            )
+        if self.backend not in BACKENDS:
+            raise ValidationError(
+                f"unknown backend {self.backend!r}; choose from {BACKENDS}"
+            )
+        if self.categories not in CATEGORIES:
+            raise ValidationError(
+                f"unknown categories {self.categories!r}; choose from {CATEGORIES}"
+            )
+        if self.workers < 1:
+            raise ValidationError(f"workers must be >= 1, got {self.workers}")
+        if self.checkpoint_every < 1:
+            raise ValidationError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+        if self.parallel_min_edges < 0:
+            raise ValidationError(
+                f"parallel_min_edges must be >= 0, got {self.parallel_min_edges}"
+            )
+
+    # -- category helpers (same contract as CountRequest) ---------------
+    @property
+    def wants_star_pair(self) -> bool:
+        return self.categories in STAR_PAIR_CATEGORIES
+
+    @property
+    def wants_triangle(self) -> bool:
+        return self.categories in TRIANGLE_CATEGORIES
+
+    def resolve(self, spec: "AlgorithmSpec") -> "StreamRequest":
+        """Capability-check against ``spec`` and make the backend concrete.
+
+        Unlike batch resolution, ``"auto"`` stays symbolic when the
+        spec implements the columnar backend: the engine picks python
+        vs columnar *per dirty slice* by size (tiny slices are faster
+        interpreted).  An explicit backend is honoured as-is.
+        """
+        if not spec.streaming:
+            raise ValidationError(
+                f"algorithm {spec.name!r} does not support streaming "
+                f"(streaming-capable: {streaming_algorithms()})"
+            )
+        params = _check_capabilities(
+            spec, categories=self.categories, workers=self.workers, params=self.params
+        )
+        backend = self.backend
+        if backend != "auto" and backend not in spec.backends:
+            backend = "python"
+        if backend == "auto" and "columnar" not in spec.backends:
+            backend = "python"
+        return dataclasses.replace(self, backend=backend, params=params)
+
+
 @dataclass(frozen=True)
 class AlgorithmSpec:
     """Declared capabilities of one registered counting algorithm."""
@@ -196,16 +314,27 @@ class AlgorithmSpec:
     backends: Tuple[str, ...] = ("python",)
     params: Mapping[str, object] = field(default_factory=dict)
     description: str = ""
+    #: Factory building an incremental engine from a resolved
+    #: :class:`StreamRequest`; ``None`` means the algorithm has no
+    #: streaming mode (see :func:`open_stream`).
+    stream_factory: Optional[Callable[["StreamRequest"], object]] = None
 
     @property
     def kind(self) -> str:
         return "exact" if self.is_exact else "approximate"
+
+    @property
+    def streaming(self) -> bool:
+        """Whether the algorithm can run incrementally over a stream."""
+        return self.stream_factory is not None
 
     def describe(self) -> str:
         """One line for ``repro list-algorithms`` / ``--help``."""
         bits = [self.kind, "parallel" if self.parallel else "serial"]
         if "columnar" in self.backends:
             bits.append("columnar")
+        if self.streaming:
+            bits.append("streaming")
         if set(self.categories) != set(CATEGORIES):
             bits.append("categories: " + ",".join(self.categories))
         if self.params:
@@ -232,6 +361,7 @@ def register_algorithm(
     backends: Tuple[str, ...] = ("python",),
     params: Optional[Mapping[str, object]] = None,
     description: str = "",
+    stream_factory: Optional[Callable[["StreamRequest"], object]] = None,
     replace: bool = False,
 ) -> Callable[[Callable[[CountRequest], "MotifCounts"]], Callable]:
     """Decorator: register a counting function under ``name``.
@@ -275,6 +405,7 @@ def register_algorithm(
             backends=tuple(backends),
             params=dict(params or {}),
             description=description,
+            stream_factory=stream_factory,
         )
         return func
 
@@ -319,6 +450,35 @@ def algorithm_specs() -> List[AlgorithmSpec]:
     """All registered specs, in registration order."""
     _ensure_builtins()
     return list(_REGISTRY.values())
+
+
+def streaming_algorithms() -> Tuple[str, ...]:
+    """Names of the algorithms that declare a streaming mode."""
+    _ensure_builtins()
+    return tuple(name for name, spec in _REGISTRY.items() if spec.streaming)
+
+
+def open_stream(request: StreamRequest):
+    """Open an incremental counting session for a :class:`StreamRequest`.
+
+    The streaming sibling of :func:`execute`: looks up the algorithm,
+    capability-checks the request (:meth:`StreamRequest.resolve`) and
+    hands it to the spec's ``stream_factory``, which returns an engine
+    exposing ``ingest`` / ``checkpoint`` / ``replay`` (see
+    :class:`repro.core.streaming.StreamingMotifEngine` for the
+    reference implementation backing ``"fast"``).
+
+    >>> from repro.core.registry import StreamRequest, open_stream
+    >>> engine = open_stream(StreamRequest(delta=10.0, window=100.0))
+    >>> engine.ingest([(0, 1, 0), (1, 0, 5), (0, 1, 9)])
+    3
+    >>> engine.checkpoint().counts.total()
+    1
+    """
+    spec = get_algorithm(request.algorithm)
+    req = request.resolve(spec)
+    assert spec.stream_factory is not None  # guaranteed by resolve()
+    return spec.stream_factory(req)
 
 
 def execute(request: CountRequest) -> "MotifCounts":
@@ -403,4 +563,4 @@ def execute(request: CountRequest) -> "MotifCounts":
 
 # The unified result type: every algorithm returns MotifCounts, so the
 # request/result pair of this API is (CountRequest, CountResult).
-from repro.core.counters import MotifCounts as CountResult  # noqa: E402
+from repro.core.counters import MotifCounts as CountResult  # noqa: E402, F401

@@ -9,6 +9,11 @@ two access paths the paper's algorithms need:
   :meth:`~repro.graph.temporal_graph.TemporalGraph.node_sequence`, and
 * the per-pair timeline ``E(v, w)`` used by FAST-Tri, via
   :meth:`~repro.graph.temporal_graph.TemporalGraph.pair_timeline`.
+
+``TemporalGraph`` is immutable; the streaming workloads use the
+mutable, appendable/evictable
+:class:`~repro.graph.stream_store.StreamingEdgeStore`, which hands
+immutable time-slice graphs back to the counting kernels.
 """
 
 from repro.graph.temporal_graph import (
@@ -18,6 +23,7 @@ from repro.graph.temporal_graph import (
     TemporalEdge,
     TemporalGraph,
 )
+from repro.graph.stream_store import StreamingEdgeStore
 from repro.graph.edgelist import load_edgelist, save_edgelist
 from repro.graph.statistics import GraphStatistics, compute_statistics
 from repro.graph import generators
@@ -29,6 +35,7 @@ __all__ = [
     "NodeSequence",
     "TemporalEdge",
     "TemporalGraph",
+    "StreamingEdgeStore",
     "load_edgelist",
     "save_edgelist",
     "GraphStatistics",

@@ -16,7 +16,7 @@ same graph for the same ``scale``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.errors import DatasetError
 from repro.graph import generators

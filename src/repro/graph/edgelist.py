@@ -12,7 +12,7 @@ from __future__ import annotations
 import gzip
 import io
 import os
-from typing import Iterator, Tuple, Union
+from typing import Iterable, Iterator, Optional, Tuple, Union
 
 from repro.errors import GraphFormatError
 from repro.graph.temporal_graph import TemporalGraph
@@ -28,6 +28,59 @@ def _open_text(path: PathLike) -> io.TextIOBase:
     return open(path, "r")
 
 
+def parse_edge_line(
+    line: str, lineno: int = 0, origin: str = "<stream>"
+) -> Optional[Tuple[int, int, float]]:
+    """Parse one SNAP-format line into ``(u, v, t)``, or ``None``.
+
+    ``None`` is returned for blank and comment lines.  Node ids are
+    parsed as ints; timestamps as ints when possible, falling back to
+    floats.  Raises :class:`~repro.errors.GraphFormatError` (tagged
+    with ``origin:lineno``) on malformed input.  This is the shared
+    parser behind both file loading and the ``repro stream`` stdin
+    replay.
+    """
+    stripped = line.strip()
+    if not stripped or stripped.startswith(_COMMENT_PREFIXES):
+        return None
+    parts = stripped.split()
+    if len(parts) < 3:
+        raise GraphFormatError(f"{origin}:{lineno}: expected 'u v t', got {stripped!r}")
+    try:
+        u = int(parts[0])
+        v = int(parts[1])
+    except ValueError as exc:
+        raise GraphFormatError(
+            f"{origin}:{lineno}: node ids must be integers, got {stripped!r}"
+        ) from exc
+    raw_t = parts[2]
+    try:
+        t: float = int(raw_t)
+    except ValueError:
+        try:
+            t = float(raw_t)
+        except ValueError as exc:
+            raise GraphFormatError(
+                f"{origin}:{lineno}: timestamp must be numeric, got {raw_t!r}"
+            ) from exc
+    return (u, v, t)
+
+
+def iter_edge_lines(
+    lines: Iterable[str], origin: str = "<stream>"
+) -> Iterator[Tuple[int, int, float]]:
+    """Yield ``(u, v, t)`` records from an iterable of text lines.
+
+    The incremental flavour of :func:`iter_edge_records`: accepts any
+    line iterable (an open file, ``sys.stdin``, a socket reader) so
+    the streaming engine can consume edges as they arrive.
+    """
+    for lineno, line in enumerate(lines, start=1):
+        record = parse_edge_line(line, lineno, origin)
+        if record is not None:
+            yield record
+
+
 def iter_edge_records(path: PathLike) -> Iterator[Tuple[int, int, float]]:
     """Yield ``(u, v, t)`` records from a SNAP-format edge list file.
 
@@ -37,33 +90,7 @@ def iter_edge_records(path: PathLike) -> Iterator[Tuple[int, int, float]]:
     number on malformed input.
     """
     with _open_text(path) as handle:
-        for lineno, line in enumerate(handle, start=1):
-            stripped = line.strip()
-            if not stripped or stripped.startswith(_COMMENT_PREFIXES):
-                continue
-            parts = stripped.split()
-            if len(parts) < 3:
-                raise GraphFormatError(
-                    f"{path}:{lineno}: expected 'u v t', got {stripped!r}"
-                )
-            try:
-                u = int(parts[0])
-                v = int(parts[1])
-            except ValueError as exc:
-                raise GraphFormatError(
-                    f"{path}:{lineno}: node ids must be integers, got {stripped!r}"
-                ) from exc
-            raw_t = parts[2]
-            try:
-                t: float = int(raw_t)
-            except ValueError:
-                try:
-                    t = float(raw_t)
-                except ValueError as exc:
-                    raise GraphFormatError(
-                        f"{path}:{lineno}: timestamp must be numeric, got {raw_t!r}"
-                    ) from exc
-            yield (u, v, t)
+        yield from iter_edge_lines(handle, origin=str(path))
 
 
 def load_edgelist(path: PathLike, **graph_kwargs) -> TemporalGraph:

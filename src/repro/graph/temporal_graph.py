@@ -162,6 +162,14 @@ class TemporalGraph:
         else:
             self._t = np.array(ts, dtype=np.float64)
 
+        self._version = 0
+        self._rebuild_sequences()
+        self._pair_index: Optional[Dict[Tuple[int, int], Tuple[List[float], List[int], List[int]]]] = None
+        self._edge_lists: Optional[Tuple[List[int], List[int], List[float]]] = None
+        self._columnar: Optional["ColumnarGraph"] = None
+        self._columnar_version = -1
+
+    def _rebuild_sequences(self) -> None:
         self._sequences: List[NodeSequence] = [NodeSequence(u) for u in range(len(self._labels))]
         src_list = self._src.tolist()
         dst_list = self._dst.tolist()
@@ -179,9 +187,38 @@ class TemporalGraph:
             seq.dirs.append(IN)
             seq.eids.append(eid)
 
-        self._pair_index: Optional[Dict[Tuple[int, int], Tuple[List[float], List[int], List[int]]]] = None
-        self._edge_lists: Optional[Tuple[List[int], List[int], List[float]]] = None
-        self._columnar: Optional["ColumnarGraph"] = None
+    @property
+    def version(self) -> int:
+        """Monotone edit stamp of the edge columns.
+
+        Starts at 0 and increases on every :meth:`invalidate_caches`
+        call.  Derived views (the pair index, the plain-list edge view,
+        the cached :class:`~repro.graph.columnar.ColumnarGraph`) record
+        the version they were built at, so holding a stale reference
+        across a mutation is detectable.
+        """
+        return self._version
+
+    def invalidate_caches(self) -> None:
+        """Drop every derived view after an in-place edge mutation.
+
+        ``TemporalGraph`` is immutable through its public API, but code
+        that owns the private edge columns (tests, subclasses, tooling
+        that patches timestamps in place) historically could mutate them
+        and keep receiving the *stale* cached ``ColumnarGraph`` — counts
+        silently computed against the old edges.  This method is the
+        sanctioned mutation protocol: after changing ``_src``/``_dst``/
+        ``_t``, call it to rebuild the node sequences eagerly, drop the
+        lazy pair index / edge lists / columnar store, and bump
+        :attr:`version` so any cached-view holder can detect staleness.
+        Mutations that never call it are still caught by the version
+        stamp check inside :meth:`columnar`.
+        """
+        self._version += 1
+        self._rebuild_sequences()
+        self._pair_index = None
+        self._edge_lists = None
+        self._columnar = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -370,11 +407,17 @@ class TemporalGraph:
         ``backend="columnar"`` consume this view; like the pair index
         it should be forced before forking parallel workers so the
         arrays are shared copy-on-write.
+
+        The cache is stamped with :attr:`version` when built and
+        rebuilt automatically if the graph was mutated in place (see
+        :meth:`invalidate_caches`), so callers can never observe a
+        columnar view of edges that no longer exist.
         """
-        if self._columnar is None:
+        if self._columnar is None or self._columnar_version != self._version:
             from repro.graph.columnar import ColumnarGraph
 
             self._columnar = ColumnarGraph(self)
+            self._columnar_version = self._version
         return self._columnar
 
     def static_pairs(self) -> List[Tuple[int, int]]:

@@ -14,7 +14,7 @@ from repro.baselines.exact_ex import (
 )
 from repro.core.api import count_motifs
 from repro.core.bruteforce import brute_force_counts
-from repro.core.motifs import MotifCategory, GRID
+from repro.core.motifs import MotifCategory
 from repro.errors import ValidationError
 from repro.graph.temporal_graph import TemporalGraph
 from tests.core.test_properties import deltas, temporal_graphs

@@ -1,6 +1,5 @@
 """Tests for the ablation variants: same results, different algorithmics."""
 
-import hypothesis.strategies as st
 from hypothesis import given, settings
 
 from repro.core.ablation import count_star_pair_rescan, count_triangle_no_window

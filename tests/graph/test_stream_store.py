@@ -1,0 +1,158 @@
+"""Unit tests for the appendable/evictable columnar edge store."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.graph.stream_store import StreamingEdgeStore
+from repro.graph.temporal_graph import TemporalGraph
+
+
+def store_with(edges, **kwargs):
+    store = StreamingEdgeStore(**kwargs)
+    store.extend(edges)
+    return store
+
+
+class TestIngest:
+    def test_append_and_counts(self):
+        store = StreamingEdgeStore()
+        assert store.append("a", "b", 1)
+        assert store.append("b", "a", 2)
+        assert store.num_live == 2
+        assert store.num_seen == 2
+        assert store.t_latest == 2
+        assert store.t_earliest == 1
+
+    def test_self_loops_dropped_by_default(self):
+        store = StreamingEdgeStore()
+        assert not store.append(3, 3, 1)
+        assert store.num_live == 0
+        assert store.num_self_loops_dropped == 1
+
+    def test_self_loop_error_policy(self):
+        store = StreamingEdgeStore(on_self_loop="error")
+        with pytest.raises(ValidationError):
+            store.append(3, 3, 1)
+
+    def test_non_numeric_timestamp_rejected(self):
+        store = StreamingEdgeStore()
+        with pytest.raises(ValidationError):
+            store.append(0, 1, "noon")
+
+    def test_malformed_record_rejected(self):
+        store = StreamingEdgeStore()
+        with pytest.raises(ValidationError):
+            store.extend([(0, 1)])
+
+    def test_version_bumps_on_append_and_evict(self):
+        store = StreamingEdgeStore()
+        v0 = store.version
+        store.append(0, 1, 5)
+        assert store.version > v0
+        v1 = store.version
+        store.evict_before(10)
+        assert store.version > v1
+
+
+class TestEviction:
+    def test_evict_before_removes_and_sets_watermark(self):
+        store = store_with([(0, 1, t) for t in range(10)])
+        evicted = store.evict_before(4)
+        assert evicted == 4
+        assert store.watermark == 4
+        assert store.num_live == 6
+        assert store.num_evicted == 4
+        assert store.num_seen == 10
+
+    def test_watermark_never_regresses(self):
+        store = store_with([(0, 1, t) for t in range(10)])
+        store.evict_before(5)
+        assert store.evict_before(3) == 0
+        assert store.watermark == 5
+
+    def test_late_arrivals_dropped_below_watermark(self):
+        store = store_with([(0, 1, t) for t in range(10)])
+        store.evict_before(5)
+        assert not store.append(0, 1, 4)
+        assert store.num_dropped_late == 1
+        # At-watermark arrivals are inside the closed window: accepted.
+        assert store.append(0, 1, 5)
+
+    def test_evict_exact_boundary_is_exclusive(self):
+        store = store_with([(0, 1, 1), (0, 1, 2), (0, 1, 3)])
+        store.evict_before(2)
+        assert [t for _, _, t in store.live_edges()] == [2, 3]
+
+    def test_compaction_preserves_contents(self):
+        edges = [(i % 5, (i + 1) % 5, i) for i in range(100)]
+        store = store_with(edges)
+        store.evict_before(90)  # forces compaction (>half dead)
+        assert store.live_edges() == edges[90:]
+
+
+class TestRunsAndMerging:
+    def test_many_flushes_merge_runs(self):
+        store = StreamingEdgeStore(max_runs=2)
+        for base in range(10):
+            store.extend([(0, 1, base * 10 + k) for k in range(5)])
+            store.slice_arrays()  # force a flush per batch
+        assert len(store._runs) <= 3  # merged below the cap
+        assert store.num_live == 50
+
+    def test_interleaved_out_of_order_runs_slice_in_arrival_order(self):
+        store = StreamingEdgeStore(max_runs=1)
+        store.extend([(0, 1, 5), (1, 2, 1)])
+        store.slice_arrays()
+        store.extend([(2, 3, 3), (3, 4, 1)])
+        assert store.live_edges() == [(0, 1, 5), (1, 2, 1), (2, 3, 3), (3, 4, 1)]
+
+
+class TestSlicing:
+    def test_slice_bounds_inclusive_lo_exclusive_hi(self):
+        store = store_with([(0, 1, t) for t in (1, 2, 3, 4, 5)])
+        src, dst, t = store.slice_arrays(2, 5)
+        assert t.tolist() == [2, 3, 4]
+
+    def test_slice_graph_matches_batch_canonical_order(self):
+        # Heavy timestamp ties, shuffled arrival: the slice graph must
+        # break ties exactly like a batch TemporalGraph over the same
+        # arrival sequence.
+        edges = [(i % 4, (i + 1) % 4, (i * 7) % 3) for i in range(30)]
+        store = store_with(edges)
+        sliced = store.slice_graph(None, None)
+        batch = TemporalGraph(edges)
+        assert np.array_equal(sliced.timestamps, batch.timestamps)
+        # Same canonical (src, dst) sequence modulo label interning.
+        batch_ids = [
+            (batch.index(u), batch.index(v)) for u, v, _ in batch.edges()
+        ]
+        slice_ids = list(zip(sliced.sources.tolist(), sliced.destinations.tolist()))
+        # Store ids equal first-appearance interning of the arrival
+        # stream, which is exactly TemporalGraph's rule.
+        assert slice_ids == batch_ids
+
+    def test_empty_slice(self):
+        store = store_with([(0, 1, 10)])
+        src, dst, t = store.slice_arrays(20, None)
+        assert len(src) == len(dst) == len(t) == 0
+        assert store.slice_graph(20, None).num_edges == 0
+
+    def test_live_edges_preserve_labels(self):
+        store = store_with([("alice", "bob", 3), ("bob", "carol", 1)])
+        assert store.live_edges() == [("alice", "bob", 3), ("bob", "carol", 1)]
+
+    def test_float_and_int_timestamps_mix(self):
+        store = store_with([(0, 1, 1), (1, 2, 2.5), (2, 0, 3)])
+        _, _, t = store.slice_arrays()
+        assert t.tolist() == [1.0, 2.5, 3.0]
+
+
+class TestValidation:
+    def test_bad_max_runs(self):
+        with pytest.raises(ValidationError):
+            StreamingEdgeStore(max_runs=0)
+
+    def test_bad_self_loop_policy(self):
+        with pytest.raises(ValidationError):
+            StreamingEdgeStore(on_self_loop="ignore")

@@ -178,3 +178,54 @@ class TestViewsAndEquality:
     def test_internal_edges_iteration(self):
         g = TemporalGraph([("a", "b", 1)])
         assert list(g.internal_edges()) == [(0, 1, 1)]
+
+
+class TestCacheInvalidation:
+    """Regression tests for the columnar stale-cache hazard (ISSUE 3).
+
+    ``TemporalGraph.columnar()`` used to cache its view forever; code
+    mutating the private edge columns in place kept receiving counts
+    for edges that no longer existed.  ``invalidate_caches()`` is the
+    sanctioned mutation protocol and the version stamp detects stale
+    cached views.
+    """
+
+    def test_version_starts_at_zero_and_bumps(self):
+        g = TemporalGraph([(0, 1, 1), (1, 2, 2)])
+        assert g.version == 0
+        g.invalidate_caches()
+        assert g.version == 1
+
+    def test_columnar_rebuilt_after_invalidate(self):
+        g = TemporalGraph([(0, 1, 1), (1, 2, 2), (2, 0, 3)])
+        stale = g.columnar()
+        # In-place timestamp mutation (the private arrays are owned by
+        # the graph; only the property views are read-only).
+        g._t[:] = [10, 20, 30]
+        g.invalidate_caches()
+        fresh = g.columnar()
+        assert fresh is not stale
+        assert fresh.t.tolist() == [10, 20, 30]
+
+    def test_pair_index_and_edge_lists_refresh(self):
+        g = TemporalGraph([(0, 1, 1), (1, 0, 2)])
+        g.ensure_pair_index()
+        assert g.edge_lists()[2] == [1, 2]
+        g._t[:] = [5, 6]
+        g.invalidate_caches()
+        assert g.edge_lists()[2] == [5, 6]
+        assert g.pair_timeline(0, 1)[0] == [5, 6]
+        assert g.node_sequence(0).times == [5, 6]
+
+    def test_stale_counts_regression(self):
+        """Counts after a sanctioned mutation reflect the new edges."""
+        from repro.core.api import count_motifs
+
+        g = TemporalGraph([(0, 1, 0), (1, 0, 1), (0, 1, 2)])
+        before = count_motifs(g, 10.0, backend="columnar").total()
+        assert before == 1
+        # Spread the edges far beyond delta: the motif disappears.
+        g._t[:] = [0, 1000, 2000]
+        g.invalidate_caches()
+        after = count_motifs(g, 10.0, backend="columnar").total()
+        assert after == 0

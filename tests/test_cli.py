@@ -192,3 +192,78 @@ class TestErrors:
         bad.write_text("not an edge list\n")
         assert main(["count", "--input", str(bad), "--delta", "10"]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestStream:
+    def test_stream_emits_jsonl_checkpoints(self, edge_file, capsys):
+        assert main(
+            ["stream", "--input", edge_file, "--delta", "10",
+             "--checkpoint-every", "5"]
+        ) == 0
+        lines = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert [cp["checkpoint"] for cp in lines] == [1, 2, 3]
+        assert lines[-1]["edges_seen"] == 12
+        # Unbounded stream: final totals equal the batch count.
+        assert lines[-1]["total"] == 27
+        for cp in lines:
+            assert set(cp["phase_seconds"]) == {"ingest", "expire", "count"}
+            assert cp["dominant_phase"] in {"ingest", "expire", "count"}
+
+    def test_stream_per_motif_counts(self, edge_file, capsys):
+        assert main(
+            ["stream", "--input", edge_file, "--delta", "10", "--per-motif"]
+        ) == 0
+        lines = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert len(lines) == 1
+        assert lines[0]["counts"]["M63"] == 1
+        assert sum(lines[0]["counts"].values()) == lines[0]["total"] == 27
+
+    def test_stream_window_expires_edges(self, edge_file, capsys):
+        assert main(
+            ["stream", "--input", edge_file, "--delta", "5", "--window", "8",
+             "--checkpoint-every", "4"]
+        ) == 0
+        lines = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        final = lines[-1]
+        assert final["edges_expired"] > 0
+        assert final["edges_seen"] == final["edges_live"] + final["edges_expired"]
+        assert final["watermark"] == pytest.approx(final["t_latest"] - 8)
+
+    def test_stream_from_stdin(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("0 1 0\n# comment\n1 0 2\n0 1 4\n")
+        )
+        assert main(["stream", "--input", "-", "--delta", "10"]) == 0
+        lines = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert lines[-1]["edges_seen"] == 3
+        assert lines[-1]["total"] == 1
+
+    def test_stream_matches_batch_count(self, edge_file, capsys):
+        assert main(["count", "--input", edge_file, "--delta", "7", "--json"]) == 0
+        batch = json.loads(capsys.readouterr().out)
+        assert main(
+            ["stream", "--input", edge_file, "--delta", "7", "--per-motif"]
+        ) == 0
+        stream = json.loads(capsys.readouterr().out.splitlines()[-1])
+        assert stream["counts"] == batch["counts"]
+
+    def test_stream_rejects_non_streaming_algorithm(self, edge_file):
+        with pytest.raises(SystemExit):
+            main(["stream", "--input", edge_file, "--delta", "5",
+                  "--algorithm", "bt"])
+
+    def test_stream_bad_file_reports_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("0 1\n")
+        assert main(["stream", "--input", str(bad), "--delta", "5"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_stream_missing_file_reports_error(self, capsys):
+        assert main(["stream", "--input", "/no/such/file", "--delta", "5"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_count_missing_file_reports_error(self, capsys):
+        assert main(["count", "--input", "/no/such/file", "--delta", "5"]) == 2
+        assert "error:" in capsys.readouterr().err
