@@ -1,0 +1,282 @@
+#!/usr/bin/env python
+"""Persistent shared-memory pool benchmark: repeated counts vs fork-per-call.
+
+The service workload of the ROADMAP north star: one resident graph,
+repeated counting requests.  The historical HARE path pays per request
+for a fresh fork pool, a fresh work decomposition, and fresh
+copy-on-write faulting; the persistent
+:class:`~repro.parallel.pool.WorkerPool` publishes the graph (and the
+per-δ kernel tables) into shared memory once, keeps its workers
+attached, memoizes the batch plan, and answers *identical* repeated
+requests from its raw-counter cache — all version-stamped against the
+graph, so every answer stays bit-identical to a cold count (asserted
+here on every measured configuration).
+
+Measured per graph size (δ fixed, ``WORKERS`` workers):
+
+``fork_per_call_seconds``
+    Mean latency of the pre-pool path: ``hare_count`` forking a fresh
+    process pool per request.
+``pool_first_call_seconds``
+    First request against a fresh persistent pool (includes publish +
+    attach + δ-table export).
+``pool_repeat_seconds``
+    Mean latency of repeated identical requests (result-cache hits) —
+    the steady state of repeated traffic.
+``pool_resident_seconds``
+    Mean latency with the result cache bypassed: resident workers,
+    shared arrays and plans, but full kernel execution per request.
+``scaling``
+    ``pool_resident`` latency per worker count (Fig. 11 analogue).
+    ``cpu_count`` is recorded alongside: on a single-core CI container
+    the curve is flat by construction; on real hardware it tracks the
+    cores.
+
+Modes
+-----
+
+``python benchmarks/bench_parallel.py``
+    Full run (10^5 and 10^6 edges) writing ``BENCH_parallel.json``.
+
+``python benchmarks/bench_parallel.py --smoke --check BENCH_parallel.json``
+    CI regression gate: run the small smoke size only and fail (exit
+    1) if the repeated-request speedup fell below half the committed
+    baseline's — the machine-robust ratio-of-ratios check the other
+    gates use — or if any configuration miscounts.
+
+Run from the repository root with ``PYTHONPATH=src``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.core.api import count_motifs
+from repro.graph.generators import powerlaw_temporal_graph
+from repro.parallel.hare import hare_count
+from repro.parallel.pool import WorkerPool
+
+DEFAULT_OUT = pathlib.Path(__file__).parent / "BENCH_parallel.json"
+
+#: (edges, nodes) benchmark points.
+SIZES = [(100_000, 10_000), (1_000_000, 100_000)]
+SMOKE_SIZE = (50_000, 5_000)
+
+DELTA = 3600.0
+SEED = 23
+WORKERS = 4
+#: Repeated requests measured per configuration.
+REPEATS = 3
+#: Worker counts of the scaling curve.
+SCALING_WORKERS = (1, 2, 4)
+
+
+def _timed(fn) -> float:
+    tick = time.perf_counter()
+    fn()
+    return time.perf_counter() - tick
+
+
+def bench_one(num_edges: int, num_nodes: int, delta: float) -> Dict[str, object]:
+    """Measure one graph size; verify exactness of every configuration."""
+    graph = powerlaw_temporal_graph(num_nodes, num_edges, seed=SEED)
+    entry: Dict[str, object] = {
+        "edges": graph.num_edges,
+        "nodes": graph.num_nodes,
+        "delta": delta,
+        "workers": WORKERS,
+        "repeats": REPEATS,
+    }
+    reference = count_motifs(graph, delta, backend="columnar")
+    entry["total"] = reference.total()
+
+    def check(result) -> None:
+        if not result.same_counts(reference):
+            raise AssertionError(
+                f"configuration miscounted: {result.total()} vs {reference.total()}"
+            )
+
+    # -- fork-per-call (the historical path) ---------------------------
+    fork_seconds: List[float] = []
+    for _ in range(REPEATS):
+        result = None
+
+        def call():
+            nonlocal result
+            result = count_motifs(
+                graph, delta, workers=WORKERS, backend="columnar",
+                start_method="fork",
+            )
+
+        fork_seconds.append(_timed(call))
+        check(result)
+    entry["fork_per_call_seconds"] = sum(fork_seconds) / len(fork_seconds)
+
+    # -- persistent pool: repeated identical requests ------------------
+    with WorkerPool(WORKERS, "fork") as pool:
+        result = None
+
+        def first():
+            nonlocal result
+            result = count_motifs(graph, delta, workers=WORKERS, pool=pool)
+
+        entry["pool_first_call_seconds"] = _timed(first)
+        check(result)
+        repeat_seconds = []
+        for _ in range(REPEATS):
+            repeat_seconds.append(_timed(first))
+            check(result)
+        entry["pool_repeat_seconds"] = sum(repeat_seconds) / len(repeat_seconds)
+        entry["pool_cache_hits"] = pool.stats["cache_hits"]
+
+    # -- persistent pool: resident execution (no result cache) ---------
+    with WorkerPool(WORKERS, "fork", result_cache=False) as pool:
+        count_motifs(graph, delta, workers=WORKERS, pool=pool)  # warm attach
+        resident_seconds = []
+        for _ in range(REPEATS):
+            result = None
+
+            def resident():
+                nonlocal result
+                result = count_motifs(graph, delta, workers=WORKERS, pool=pool)
+
+            resident_seconds.append(_timed(resident))
+            check(result)
+        entry["pool_resident_seconds"] = sum(resident_seconds) / len(resident_seconds)
+
+    entry["speedup_repeat"] = (
+        entry["fork_per_call_seconds"] / max(entry["pool_repeat_seconds"], 1e-9)
+    )
+    entry["speedup_resident"] = (
+        entry["fork_per_call_seconds"] / max(entry["pool_resident_seconds"], 1e-9)
+    )
+
+    # -- worker scaling (Fig. 11 analogue) -----------------------------
+    # hare_count routes through the pool for every worker count, so
+    # the 1-worker point measures the same resident runtime (attach,
+    # dispatch, reduction) as the rest of the curve.
+    scaling = []
+    for workers in SCALING_WORKERS:
+        with WorkerPool(workers, "fork", result_cache=False) as pool:
+            result = None
+
+            def scaled():
+                nonlocal result
+                result = hare_count(
+                    graph, delta, workers=workers, pool=pool, backend="columnar"
+                )
+
+            _timed(scaled)  # attach + δ-table warm
+            check(result)
+            seconds = _timed(scaled)
+            check(result)
+            scaling.append({"workers": workers, "seconds": seconds})
+    entry["scaling"] = scaling
+    return entry
+
+
+def print_entry(entry: Dict[str, object]) -> None:
+    print(
+        f"  {entry['edges']:>10,} edges | fork/call {entry['fork_per_call_seconds']:7.3f}s"
+        f" | pool repeat {entry['pool_repeat_seconds']:8.4f}s ({entry['speedup_repeat']:6.1f}x)"
+        f" | pool resident {entry['pool_resident_seconds']:7.3f}s"
+        f" ({entry['speedup_resident']:4.2f}x)"
+    )
+    curve = ", ".join(f"{s['workers']}w={s['seconds']:.3f}s" for s in entry["scaling"])
+    print(f"  {'':>10}       | scaling: {curve}")
+
+
+def run(sizes, delta: float, out: Optional[pathlib.Path]) -> List[Dict[str, object]]:
+    print(
+        f"persistent pool benchmark (delta={delta:g}, workers={WORKERS}, "
+        f"seed={SEED}, cpus={os.cpu_count()})"
+    )
+    results = []
+    for num_edges, num_nodes in sizes:
+        results.append(bench_one(num_edges, num_nodes, delta))
+        print_entry(results[-1])
+    if out is not None:
+        payload = {
+            "description": (
+                "repeated counting requests: persistent shared-memory pool "
+                "vs fork-per-call HARE"
+            ),
+            "generator": "powerlaw_temporal_graph",
+            "delta": delta,
+            "workers": WORKERS,
+            "seed": SEED,
+            "cpu_count": os.cpu_count(),
+            "results": results,
+        }
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"written to {out}")
+    return results
+
+
+def check(results: List[Dict[str, object]], baseline_path: pathlib.Path) -> int:
+    """Ratio-of-ratios regression gate against the committed baseline."""
+    baseline = json.loads(baseline_path.read_text())
+    by_edges = {entry["edges"]: entry for entry in baseline["results"]}
+    status = 0
+    compared = 0
+    for entry in results:
+        base = by_edges.get(entry["edges"])
+        if base is None or base.get("speedup_repeat") is None:
+            continue
+        compared += 1
+        floor = base["speedup_repeat"] / 2.0
+        verdict = "ok" if entry["speedup_repeat"] >= floor else "REGRESSED"
+        print(
+            f"  {entry['edges']:,} edges: repeat speedup {entry['speedup_repeat']:.1f}x vs "
+            f"baseline {base['speedup_repeat']:.1f}x (floor {floor:.1f}x) -> {verdict}"
+        )
+        if entry["speedup_repeat"] < floor:
+            status = 1
+    if compared == 0:
+        print(
+            f"no baseline entry in {baseline_path} matches the measured "
+            "sizes; the regression gate cannot run"
+        )
+        return 1
+    if status:
+        print("persistent pool regressed >2x against the committed baseline")
+    return status
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help=f"run only the {SMOKE_SIZE[0]:,}-edge smoke size",
+    )
+    parser.add_argument("--delta", type=float, default=DELTA)
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help=f"write results JSON here (default {DEFAULT_OUT.name}; "
+             "omitted in --check runs unless given explicitly)",
+    )
+    parser.add_argument(
+        "--check", type=pathlib.Path, default=None, metavar="BASELINE",
+        help="compare repeated-request speedups against a committed baseline "
+             "JSON; exit 1 on a >2x regression",
+    )
+    args = parser.parse_args(argv)
+
+    sizes = [SMOKE_SIZE] if args.smoke else [SMOKE_SIZE] + SIZES
+    out = args.out
+    if out is None and args.check is None and not args.smoke:
+        out = DEFAULT_OUT
+    results = run(sizes, args.delta, out)
+    if args.check is not None:
+        return check(results, args.check)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -59,6 +59,8 @@ from repro.core.registry import (
 )
 from repro.core.streaming import Checkpoint, StreamingMotifEngine
 from repro.graph.stream_store import StreamingEdgeStore
+from repro.graph.shared import attach_graph, publish_graph
+from repro.parallel.pool import WorkerPool
 from repro.core.counters import MotifCounts, PairCounter, StarCounter, TriangleCounter
 from repro.core.motifs import ALL_MOTIFS, GRID, MOTIFS_BY_NAME, Motif, MotifCategory
 from repro.core.patterns import HIGHER_ORDER_PATTERNS, count_higher_order
@@ -87,6 +89,9 @@ __all__ = [
     "Checkpoint",
     "StreamingMotifEngine",
     "StreamingEdgeStore",
+    "WorkerPool",
+    "publish_graph",
+    "attach_graph",
     "open_stream",
     "streaming_algorithms",
     "AlgorithmSpec",

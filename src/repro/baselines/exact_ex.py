@@ -460,12 +460,16 @@ def ex_count(
     *,
     categories: str = "all",
     workers: int = 1,
+    start_method: "Optional[str]" = None,
 ) -> MotifCounts:
     """Count motifs with the EX baseline.
 
     ``workers > 1`` uses the time-slab parallel decomposition
-    described in the module docstring (requires ``fork``; falls back
-    to serial where unavailable).
+    described in the module docstring.  The decomposition relies on
+    fork copy-on-write sharing, so it only engages when the resolved
+    start method is ``fork`` (explicit ``start_method``, then the
+    ``REPRO_START_METHOD`` env var, then the platform default);
+    anything else runs serially — identical counts either way.
     """
     if delta < 0:
         raise ValidationError(f"delta must be non-negative, got {delta}")
@@ -478,13 +482,25 @@ def ex_count(
 
     import multiprocessing as mp
 
+    from repro.parallel.executor import resolve_start_method
+
     global _WORKER_GRAPH, _WORKER_ARGS
+    # An explicitly requested-but-unavailable method raises, exactly
+    # like the HARE path — never silently run something else.
+    fork_requested = resolve_start_method(start_method) == "fork"
+    # Force the lazy sequence views before forking so slab workers
+    # inherit one copy-on-write build instead of each making their own.
+    graph.sequences()
     slabs = make_slabs(graph, workers)
     _WORKER_GRAPH = graph
     _WORKER_ARGS = (delta, categories)
     try:
-        ctx = mp.get_context("fork")
+        ctx = mp.get_context("fork") if fork_requested else None
     except ValueError:  # pragma: no cover - non-POSIX fallback
+        ctx = None
+    if ctx is None:
+        _WORKER_GRAPH = None
+        _WORKER_ARGS = ()
         grid = _ex_partial(graph, delta, categories, _FULL_SLAB)
         return MotifCounts.from_dict(grid, algorithm="ex", delta=delta)
     try:

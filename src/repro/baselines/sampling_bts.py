@@ -47,36 +47,53 @@ _WORKER_GRAPH: Optional[TemporalGraph] = None
 _WORKER_ARGS: Tuple = ()
 
 
-def _blocks_grid(
+def _block_grid(
     graph: TemporalGraph,
     delta: float,
     motifs: List[Motif],
-    blocks: List[_Block],
+    block: _Block,
     W: float,
     q: float,
 ) -> np.ndarray:
-    """Accumulate the HT-weighted counts of many blocks into one grid."""
+    """HT-weighted counts of one sampled block."""
     t = graph.edge_lists()[2]
     grid = np.zeros((6, 6), dtype=np.float64)
     # Instance weight: W / (q * (W - span)) = 1 / ((W - span) * q / W).
     q_over_w = q / W
-    for lo, hi, b_hi in blocks:
-        for motif in motifs:
-            acc = 0.0
-            for matched in match_instances(
-                graph, delta, motif.canonical, first_range=(lo, hi), t_cap=b_hi
-            ):
-                span = t[matched[-1]] - t[matched[0]]
-                acc += 1.0 / ((W - span) * q_over_w)
-            if acc:
-                grid[motif.row - 1, motif.col - 1] += acc
+    lo, hi, b_hi = block
+    for motif in motifs:
+        acc = 0.0
+        for matched in match_instances(
+            graph, delta, motif.canonical, first_range=(lo, hi), t_cap=b_hi
+        ):
+            span = t[matched[-1]] - t[matched[0]]
+            acc += 1.0 / ((W - span) * q_over_w)
+        if acc:
+            grid[motif.row - 1, motif.col - 1] += acc
     return grid
 
 
-def _pool_worker(blocks: List[_Block]) -> np.ndarray:
+def _reduce_block_grids(indexed_grids: List[Tuple[int, np.ndarray]]) -> np.ndarray:
+    """Sum per-block grids in global block order.
+
+    Floating-point addition is not associative, so the reduction tree
+    must not depend on how blocks were chunked across workers: summing
+    one block at a time, in sampling order, makes the estimate
+    bit-identical for any worker count (and for the serial path).
+    """
+    grid = np.zeros((6, 6), dtype=np.float64)
+    for _, block_grid in sorted(indexed_grids, key=lambda item: item[0]):
+        grid += block_grid
+    return grid
+
+
+def _pool_worker(chunk: List[Tuple[int, _Block]]) -> List[Tuple[int, np.ndarray]]:
     assert _WORKER_GRAPH is not None
     delta, motifs, W, q = _WORKER_ARGS
-    return _blocks_grid(_WORKER_GRAPH, delta, motifs, blocks, W, q)
+    return [
+        (index, _block_grid(_WORKER_GRAPH, delta, motifs, block, W, q))
+        for index, block in chunk
+    ]
 
 
 def bts_count(
@@ -89,6 +106,7 @@ def bts_count(
     motifs: Optional[Iterable[Motif]] = None,
     exact_when_full: bool = True,
     workers: int = 1,
+    start_method: Optional[str] = None,
 ) -> MotifCounts:
     """Estimate motif counts by interval sampling.
 
@@ -107,7 +125,14 @@ def bts_count(
     exact_when_full:
         With ``q >= 1``, fall back to the exact BT run.
     workers:
-        Number of processes to spread sampled blocks over.
+        Number of processes to spread sampled blocks over.  Block
+        farming shares the graph via fork copy-on-write, so it only
+        engages when the resolved start method is ``fork``; other
+        methods run serially.  The estimate is bit-identical either
+        way (per-block grids reduce in canonical order).
+    start_method:
+        Explicit start method; ``None`` resolves via
+        ``REPRO_START_METHOD``, then the platform default.
     """
     if not 0 < q <= 1:
         raise ValidationError(f"q must be in (0, 1], got {q}")
@@ -146,33 +171,53 @@ def bts_count(
         for lo, hi, b_lo in zip(los[mask], his[mask], b_los[mask])
     ]
 
+    indexed = list(enumerate(blocks))
     if workers == 1 or len(blocks) <= 1:
-        grid += _blocks_grid(graph, delta, selected, blocks, W, q)
+        grids = [
+            (index, _block_grid(graph, delta, selected, block, W, q))
+            for index, block in indexed
+        ]
+        grid += _reduce_block_grids(grids)
     else:
         import multiprocessing as mp
 
+        from repro.parallel.executor import resolve_start_method
+
         global _WORKER_GRAPH, _WORKER_ARGS
+        # An explicitly requested-but-unavailable method raises,
+        # exactly like the HARE path — never silently run another.
+        fork_requested = resolve_start_method(start_method) == "fork"
         try:
-            ctx = mp.get_context("fork")
+            ctx = mp.get_context("fork") if fork_requested else None
         except ValueError:  # pragma: no cover - non-POSIX fallback
             ctx = None
         if ctx is None:
-            grid += _blocks_grid(graph, delta, selected, blocks, W, q)
+            grids = [
+                (index, _block_grid(graph, delta, selected, block, W, q))
+                for index, block in indexed
+            ]
+            grid += _reduce_block_grids(grids)
         else:
+            graph.sequences()
             graph.ensure_pair_index()
             graph.edge_lists()
             _WORKER_GRAPH = graph
             _WORKER_ARGS = (delta, selected, W, q)
-            # Chunk blocks so IPC is per-chunk, not per-block.
-            chunks = [blocks[k::workers * 4] for k in range(workers * 4)]
+            # Chunk blocks so IPC is per-chunk, not per-block; the
+            # per-block grids come back tagged with their sampling
+            # index so the reduction order (and hence the estimate,
+            # bit for bit) never depends on the chunking.
+            chunks = [indexed[k::workers * 4] for k in range(workers * 4)]
             chunks = [c for c in chunks if c]
+            collected: List[Tuple[int, np.ndarray]] = []
             try:
                 with ctx.Pool(processes=workers) as pool:
                     for partial in pool.imap_unordered(_pool_worker, chunks, chunksize=1):
-                        grid += partial
+                        collected.extend(partial)
             finally:
                 _WORKER_GRAPH = None
                 _WORKER_ARGS = ()
+            grid += _reduce_block_grids(collected)
     return MotifCounts(grid, algorithm="bts", delta=delta)
 
 

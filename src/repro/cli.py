@@ -76,6 +76,7 @@ def _cmd_count(args: argparse.Namespace) -> int:
         seed=args.seed,
         n_samples=args.n_samples,
         backend=args.backend,
+        start_method=args.start_method,
     )
     dominant = counts.dominant_phase()
     if args.json:
@@ -148,14 +149,20 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         backend=args.backend,
         workers=args.workers,
         checkpoint_every=args.checkpoint_every,
+        start_method=args.start_method,
     )
     engine = open_stream(request)
     if args.input == "-":
         edges = iter_edge_lines(sys.stdin, origin="<stdin>")
     else:
         edges = iter_edge_records(args.input)
-    for cp in engine.replay(edges, batch_edges=args.batch_edges):
-        print(json.dumps(cp.as_dict(per_motif=args.per_motif)), flush=True)
+    try:
+        for cp in engine.replay(edges, batch_edges=args.batch_edges):
+            print(json.dumps(cp.as_dict(per_motif=args.per_motif)), flush=True)
+    finally:
+        close = getattr(engine, "close", None)
+        if close is not None:
+            close()
     return 0
 
 
@@ -242,6 +249,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "kernels), python (interpreted loops), or auto "
                               "(fastest the algorithm implements; identical "
                               "counts either way)")
+    p_count.add_argument("--start-method", choices=("fork", "spawn"), default=None,
+                         help="process start method for parallel runs "
+                              "(default: REPRO_START_METHOD env var, then the "
+                              "platform default; spawn routes through the "
+                              "shared-memory worker pool)")
     p_count.add_argument("--json", action="store_true", help="emit JSON")
     p_count.set_defaults(func=_cmd_count)
 
@@ -273,7 +285,12 @@ def build_parser() -> argparse.ArgumentParser:
                                "python for tiny slices, columnar for large ones")
     p_stream.add_argument("--workers", type=int, default=1,
                           help="HARE workers for large dirty ranges (micro-batch "
-                               "parallelism)")
+                               "parallelism, served by a resident shared-memory "
+                               "worker pool)")
+    p_stream.add_argument("--start-method", choices=("fork", "spawn"), default=None,
+                          help="start method for the resident worker pool "
+                               "(default: REPRO_START_METHOD env var, then the "
+                               "platform default)")
     p_stream.add_argument("--per-motif", action="store_true",
                           help="include the full 36-motif count dict per checkpoint")
     p_stream.set_defaults(func=_cmd_stream)

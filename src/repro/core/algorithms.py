@@ -51,6 +51,7 @@ def _fast_stream_factory(request):
     "fast",
     exact=True,
     parallel=True,
+    pool_runtime=True,
     backends=("columnar", "python"),
     description="FAST-Star + FAST-Tri (this paper); HARE when workers > 1",
     stream_factory=_fast_stream_factory,
@@ -102,6 +103,7 @@ def _ex(request: CountRequest) -> MotifCounts:
         request.delta,
         categories=request.categories,
         workers=request.workers,
+        start_method=request.start_method,
     )
 
 
@@ -163,6 +165,7 @@ def _bts(request: CountRequest) -> MotifCounts:
         motifs=_category_motifs(request.categories),
         exact_when_full=False,
         workers=request.workers,
+        start_method=request.start_method,
     )
 
 

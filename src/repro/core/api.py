@@ -62,6 +62,8 @@ def count_motifs(
     seed: Optional[int] = None,
     n_samples: Optional[int] = None,
     backend: str = "auto",
+    pool: Optional[object] = None,
+    start_method: Optional[str] = None,
     **params: object,
 ) -> MotifCounts:
     """Count 2- and 3-node, 3-edge δ-temporal motifs (Problem 1).
@@ -108,6 +110,17 @@ def count_motifs(
         ``"auto"`` (default) the fastest backend the chosen algorithm
         implements.  Counts are identical either way; the effective
         choice is recorded in ``result.meta["backend"]``.
+    pool:
+        A persistent :class:`~repro.parallel.pool.WorkerPool` for
+        parallel algorithms: repeated calls against the same graph
+        reuse the published shared-memory arrays, the memoized HARE
+        plan, and (for identical requests) the raw-counter cache,
+        instead of forking a fresh process pool per call.
+    start_method:
+        Process start method for parallel execution without a pool
+        (``"fork"``/``"spawn"``); default honours the
+        ``REPRO_START_METHOD`` environment variable, then the
+        platform.  Counts are identical across methods.
     params:
         Algorithm-specific extras declared in the registry, e.g.
         ``q=0.3, window_factor=5.0`` for BTS or ``p=0.01, q=1.0`` for
@@ -131,6 +144,8 @@ def count_motifs(
             "seed": seed is not None,
             "n_samples": n_samples is not None,
             "backend": backend != "auto",
+            "pool": pool is not None,
+            "start_method": start_method is not None,
             "params": bool(params),
         }
         given = sorted(name for name, set_ in overrides.items() if set_)
@@ -151,6 +166,8 @@ def count_motifs(
         seed=seed,
         n_samples=n_samples,
         backend=backend,
+        pool=pool,
+        start_method=start_method,
         params=dict(params),
     )
     return execute(request)
@@ -280,6 +297,8 @@ def count_motifs_sweep(
     seed: Optional[int] = None,
     n_samples: Optional[int] = None,
     backend: str = "auto",
+    pool: Optional[object] = None,
+    start_method: Optional[str] = None,
     **params: object,
 ) -> SweepResult:
     """Run every (algorithm, δ) combination and collect the results.
@@ -289,6 +308,15 @@ def count_motifs_sweep(
     double loops.  Algorithm-specific ``params`` are forwarded only to
     the algorithms that declare them, so mixed sweeps like
     ``algorithms=("fast", "bts"), q=0.5`` work.
+
+    With ``workers > 1`` and at least one pool-runtime algorithm in
+    the sweep (the HARE family — currently ``fast``), the whole sweep
+    executes on one persistent
+    :class:`~repro.parallel.pool.WorkerPool` — the one passed as
+    ``pool=``, or a sweep-owned pool created (and closed) here — so
+    the graph is published to shared memory once and every such cell
+    amortizes the startup the per-call fork path would repay per run.
+    (EX and BTS run their own fork-only farming and ignore the pool.)
     """
     from repro.core.registry import get_algorithm
 
@@ -307,24 +335,35 @@ def count_motifs_sweep(
             f"parameter(s) {sorted(orphaned)} are accepted by none of "
             f"{tuple(algorithms)}"
         )
+    own_pool = None
+    if pool is None and workers > 1 and any(spec.pool_runtime for spec in specs):
+        from repro.parallel.pool import WorkerPool
+
+        pool = own_pool = WorkerPool(workers, start_method=start_method)
     sweep = SweepResult()
-    for spec in specs:
-        accepted: Dict[str, object] = {
-            key: value for key, value in params.items() if key in spec.params
-        }
-        for delta in deltas:
-            request = CountRequest(
-                graph=graph,
-                delta=delta,
-                algorithm=spec.name,
-                categories=categories,
-                workers=workers if spec.parallel else 1,
-                thrd=thrd,
-                schedule=schedule,
-                seed=seed if not spec.is_exact else None,
-                n_samples=n_samples if not spec.is_exact else None,
-                backend=backend,
-                params=accepted,
-            )
-            sweep.add(spec.name, delta, execute(request))
+    try:
+        for spec in specs:
+            accepted: Dict[str, object] = {
+                key: value for key, value in params.items() if key in spec.params
+            }
+            for delta in deltas:
+                request = CountRequest(
+                    graph=graph,
+                    delta=delta,
+                    algorithm=spec.name,
+                    categories=categories,
+                    workers=workers if spec.parallel else 1,
+                    thrd=thrd,
+                    schedule=schedule,
+                    seed=seed if not spec.is_exact else None,
+                    n_samples=n_samples if not spec.is_exact else None,
+                    backend=backend,
+                    pool=pool if spec.pool_runtime else None,
+                    start_method=start_method,
+                    params=accepted,
+                )
+                sweep.add(spec.name, delta, execute(request))
+    finally:
+        if own_pool is not None:
+            own_pool.close()
     return sweep

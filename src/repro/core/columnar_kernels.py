@@ -70,7 +70,7 @@ kernel, independent of δ.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -240,6 +240,69 @@ def warm_delta_cache(
     _window_bounds(col, delta)
     if star_pair:
         _star_precompute(col, delta)
+
+
+#: Star prefix-table names, in their packed export order.
+_STAR_TERMS = ("one", "slot", "cin", "gin", "win", "osub", "wsub", "ggin")
+
+
+def export_delta_cache(
+    col: ColumnarGraph, delta: float, star_pair: bool = True
+) -> "Dict[str, np.ndarray]":
+    """Flatten the per-δ memo tables into a named-array dict.
+
+    Warms the memos first if needed.  The returned mapping round-trips
+    through :func:`install_delta_cache`, which is how the persistent
+    worker pool ships one copy of the O(m)-sized δ tables to every
+    worker via shared memory instead of having each worker redo the
+    O(m log m) setup (and hold its own quarter-gigabyte copy).
+    """
+    warm_delta_cache(col, delta, star_pair=star_pair)
+    lo_eid, hi_eid, ws, we = _window_bounds(col, delta)
+    arrays = {
+        "bounds.lo_eid": lo_eid,
+        "bounds.hi_eid": hi_eid,
+        "bounds.ws": ws,
+        "bounds.we": we,
+    }
+    if star_pair:
+        gws, gwe, prefixes = _star_precompute(col, delta)
+        arrays["star.gws"] = gws
+        arrays["star.gwe"] = gwe
+        for name in _STAR_TERMS:
+            out, into = prefixes[name]
+            arrays[f"star.{name}.out"] = out
+            arrays[f"star.{name}.in"] = into
+    return arrays
+
+
+def install_delta_cache(
+    col: ColumnarGraph, delta: float, arrays: "Mapping[str, np.ndarray]"
+) -> None:
+    """Install exported per-δ tables into ``col.delta_cache``.
+
+    The inverse of :func:`export_delta_cache`: after this call the
+    kernels hit the memo instead of recomputing.  Replaces whatever δ
+    was resident (the cache is single-entry per kind, matching
+    :func:`_window_bounds`).
+    """
+    col.delta_cache.clear()
+    col.delta_cache[("bounds", float(delta))] = (
+        arrays["bounds.lo_eid"],
+        arrays["bounds.hi_eid"],
+        arrays["bounds.ws"],
+        arrays["bounds.we"],
+    )
+    if "star.gws" in arrays:
+        prefixes = {
+            name: (arrays[f"star.{name}.out"], arrays[f"star.{name}.in"])
+            for name in _STAR_TERMS
+        }
+        col.delta_cache[("star", float(delta))] = (
+            arrays["star.gws"],
+            arrays["star.gwe"],
+            prefixes,
+        )
 
 
 def count_star_pair_columnar(

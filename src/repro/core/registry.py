@@ -67,6 +67,17 @@ TRIANGLE_CATEGORIES = ("all", "triangle")
 #: results, only execution strategy.
 BACKENDS = ("auto", "python", "columnar")
 
+#: Process start methods a request may pin for parallel execution
+#: (``None`` defers to ``REPRO_START_METHOD`` / the platform default).
+START_METHODS = (None, "fork", "spawn", "forkserver")
+
+
+def _check_start_method(start_method: Optional[str]) -> None:
+    if start_method not in START_METHODS:
+        raise ValidationError(
+            f"unknown start_method {start_method!r}; choose from {START_METHODS}"
+        )
+
 
 def _check_capabilities(
     spec: "AlgorithmSpec",
@@ -122,6 +133,18 @@ class CountRequest:
     seed: Optional[int] = None
     n_samples: Optional[int] = None
     backend: str = "auto"
+    #: Persistent shared-memory worker pool
+    #: (:class:`repro.parallel.pool.WorkerPool`) to execute on;
+    #: ``None`` uses the per-call runtime.  Consumed by algorithms
+    #: whose spec declares ``pool_runtime`` (the HARE family —
+    #: currently ``fast``); others ignore it.  Repeated requests
+    #: against one pool amortize graph publication, planning, and —
+    #: for identical requests — the counting itself.
+    pool: Optional[object] = field(default=None, repr=False, compare=False)
+    #: Process start method for parallel execution without a pool
+    #: (``"fork"``/``"spawn"``; default: ``REPRO_START_METHOD`` env
+    #: var, then the platform default).
+    start_method: Optional[str] = None
     params: Dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -143,6 +166,7 @@ class CountRequest:
             )
         if self.n_samples is not None and self.n_samples < 1:
             raise ValidationError(f"n_samples must be >= 1, got {self.n_samples}")
+        _check_start_method(self.start_method)
 
     # -- category helpers used by adapters -----------------------------
     @property
@@ -239,11 +263,19 @@ class StreamRequest:
     workers: int = 1
     checkpoint_every: int = 10_000
     parallel_min_edges: int = 200_000
+    #: Persistent worker pool for large micro-batches; ``None`` lets
+    #: the engine keep its own resident pool once one is needed (see
+    #: :meth:`repro.core.streaming.StreamingMotifEngine.close`).
+    pool: Optional[object] = field(default=None, repr=False, compare=False)
+    #: Start method for the engine's resident pool (``None``:
+    #: ``REPRO_START_METHOD`` env var, then platform default).
+    start_method: Optional[str] = None
     params: Dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.delta is None or self.delta < 0:
             raise ValidationError(f"delta must be non-negative, got {self.delta}")
+        _check_start_method(self.start_method)
         if self.window is not None and self.window <= 0:
             raise ValidationError(
                 f"window must be positive (or None for unbounded), got {self.window}"
@@ -309,6 +341,13 @@ class AlgorithmSpec:
     is_exact: bool
     categories: Tuple[str, ...] = CATEGORIES
     parallel: bool = False
+    #: Whether the algorithm executes through the shared HARE runtime
+    #: and therefore consumes ``CountRequest.pool`` (a persistent
+    #: :class:`~repro.parallel.pool.WorkerPool`).  Parallel algorithms
+    #: without it (EX time slabs, BTS block farming) run their own
+    #: fork-only pools and fall back to serial under other start
+    #: methods.
+    pool_runtime: bool = False
     #: Backends the algorithm implements, fastest first ("auto" picks
     #: the first).  Every algorithm has at least the python path.
     backends: Tuple[str, ...] = ("python",)
@@ -358,6 +397,7 @@ def register_algorithm(
     exact: bool,
     categories: Tuple[str, ...] = CATEGORIES,
     parallel: bool = False,
+    pool_runtime: bool = False,
     backends: Tuple[str, ...] = ("python",),
     params: Optional[Mapping[str, object]] = None,
     description: str = "",
@@ -402,6 +442,7 @@ def register_algorithm(
             is_exact=exact,
             categories=tuple(categories),
             parallel=parallel,
+            pool_runtime=pool_runtime,
             backends=tuple(backends),
             params=dict(params or {}),
             description=description,

@@ -101,15 +101,22 @@ def count_slice_raw(
     backend: str = "auto",
     workers: int = 1,
     parallel_min_edges: int = DEFAULT_PARALLEL_MIN_EDGES,
+    pool_factory=None,
 ) -> RawCounts:
     """Raw flat counters of one immutable slice graph.
 
     Dispatches to the same kernels the batch path uses: serial python
     loops or columnar kernels per :func:`resolve_slice_backend`, and —
     when ``workers > 1`` and the slice has at least
-    ``parallel_min_edges`` edges — the HARE process pool, so a large
-    dirty range is counted as a micro-batch with full intra-node
-    parallelism.  Passes the engine does not need are skipped.
+    ``parallel_min_edges`` edges — the HARE runtime, so a large dirty
+    range is counted as a micro-batch with full intra-node
+    parallelism.  ``pool_factory`` (a zero-argument callable returning
+    a :class:`~repro.parallel.pool.WorkerPool`, e.g. the streaming
+    engine's resident-pool accessor) is consulted *only* when this
+    function decides to go parallel — the threshold decision lives
+    here alone — so micro-batches reuse a resident pool instead of
+    re-forking per batch, and no pool is ever created for slices that
+    stay serial.  Passes the engine does not need are skipped.
     """
     star, pair, tri = zero_raw()
     if graph.num_edges == 0 or not (star_pair or triangle):
@@ -118,14 +125,17 @@ def count_slice_raw(
     if workers > 1 and graph.num_edges >= parallel_min_edges:
         from repro.parallel.hare import hare_star_pair, hare_triangle
 
+        pool = pool_factory() if pool_factory is not None else None
         if star_pair:
             star_counter, pair_counter = hare_star_pair(
-                graph, delta, workers=workers, backend=concrete
+                graph, delta, workers=workers, backend=concrete, pool=pool
             )
             star = np.array(star_counter.data, dtype=np.int64)
             pair = np.array(pair_counter.data, dtype=np.int64)
         if triangle:
-            tri_counter = hare_triangle(graph, delta, workers=workers, backend=concrete)
+            tri_counter = hare_triangle(
+                graph, delta, workers=workers, backend=concrete, pool=pool
+            )
             tri = np.array(tri_counter.data, dtype=np.int64)
         return star, pair, tri
     from repro.core.fast_star import count_star_pair

@@ -44,7 +44,7 @@ one ``searchsorted`` — vectorizable over millions of queries at once.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Tuple
+from typing import TYPE_CHECKING, Mapping, Tuple
 
 import numpy as np
 
@@ -230,6 +230,33 @@ class ColumnarGraph:
             value = getattr(self, name)
             if isinstance(value, np.ndarray):
                 value.flags.writeable = False
+
+    @classmethod
+    def _attach(
+        cls,
+        arrays: "Mapping[str, np.ndarray]",
+        scalars: "Mapping[str, object]",
+    ) -> "ColumnarGraph":
+        """Reassemble a store from pre-built arrays, without recomputing.
+
+        The constructor behind :func:`repro.graph.shared.attach_graph`:
+        ``arrays`` holds every ndarray slot (typically zero-copy views
+        into a shared-memory segment) and ``scalars`` the remaining
+        plain-value slots, exactly as another process's
+        ``ColumnarGraph`` produced them.  ``delta_cache`` always starts
+        empty — per-δ kernel tables are installed separately (see
+        :func:`repro.core.columnar_kernels.install_delta_cache`) or
+        rebuilt locally on first use.
+        """
+        col = object.__new__(cls)
+        for name in cls.__slots__:
+            if name == "delta_cache":
+                col.delta_cache = {}
+            elif name in arrays:
+                setattr(col, name, arrays[name])
+            else:
+                setattr(col, name, scalars[name])
+        return col
 
     # ------------------------------------------------------------------
     # window slicing and partition views

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import gzip
 import io
+import math
 import os
 from typing import Iterable, Iterator, Optional, Tuple, Union
 
@@ -63,6 +64,13 @@ def parse_edge_line(
             raise GraphFormatError(
                 f"{origin}:{lineno}: timestamp must be numeric, got {raw_t!r}"
             ) from exc
+        # float("nan")/float("inf") parse fine but poison every
+        # comparison downstream (canonical sort, δ-windows, sliding
+        # window watermarks) — reject them at the boundary.
+        if not math.isfinite(t):
+            raise GraphFormatError(
+                f"{origin}:{lineno}: timestamp must be finite, got {raw_t!r}"
+            )
     return (u, v, t)
 
 

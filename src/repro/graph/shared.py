@@ -1,0 +1,345 @@
+"""Shared-memory publication of graphs for persistent worker pools.
+
+The HARE framework of §IV-C assumes OpenMP threads reading one shared
+graph.  The fork-based executor approximates that with copy-on-write
+pages, but copy-on-write is fork-only: spawn-created workers (the only
+option on Windows and macOS defaults, and the safer option under
+threads) would have to re-pickle and rebuild the whole graph per
+request.  This module is the platform-neutral replacement: the owner
+*publishes* a graph's columnar arrays into one
+:mod:`multiprocessing.shared_memory` segment, and any process
+*attaches* zero-copy NumPy views over the same physical pages.
+
+Three layers, lowest first:
+
+:func:`publish_arrays` / :func:`attach_arrays`
+    Generic bundle of named arrays in one segment, described by a
+    picklable :class:`ArrayBundleManifest` (name → dtype/shape/offset).
+
+:func:`publish_graph` / :func:`attach_graph`
+    A whole :class:`~repro.graph.temporal_graph.TemporalGraph`: the
+    canonical edge columns plus (optionally) every array of its
+    :class:`~repro.graph.columnar.ColumnarGraph`, reassembled on attach
+    without any re-sorting or CSR rebuilding.
+
+Lifecycle (see ``docs/architecture.md``)
+    The **owner** calls :func:`publish_graph` (create + copy), ships
+    the manifest to workers (it is tiny and picklable), and eventually
+    calls :meth:`SharedGraph.unlink` — typically via
+    :meth:`SharedGraph.close`, which both unmaps and unlinks.  Each
+    **worker** calls :func:`attach_graph` (map, no copy) and
+    :meth:`AttachedGraph.close` when evicting.  On POSIX the physical
+    segment lives until the last mapping closes, so the owner may
+    unlink while workers still compute on it.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.graph.columnar import ColumnarGraph
+from repro.graph.temporal_graph import TemporalGraph
+
+#: Byte alignment of each array inside a segment (cache-line friendly).
+_ALIGN = 64
+
+
+class _QuietSharedMemory(shared_memory.SharedMemory):
+    """A ``SharedMemory`` whose destructor tolerates live array views.
+
+    NumPy views over ``shm.buf`` may legally outlive the handle object
+    (the attachment holder is garbage-collected while a result array
+    is still referenced); the stdlib destructor then raises
+    ``BufferError`` from ``mmap.close`` into the "exception ignored"
+    stderr stream.  Unmapping simply waits until the views die — not an
+    error worth a traceback.
+    """
+
+    def __del__(self) -> None:
+        try:
+            super().__del__()
+        except BufferError:
+            pass
+
+
+def _untracked_attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker adoption.
+
+    Python 3.13+ has ``track=False`` for attachments whose lifetime an
+    owner manages explicitly, which is exactly our protocol (the
+    publisher unlinks).  Earlier versions register attachments
+    unconditionally (bpo-38119) — harmless here, because pool workers
+    are children of the owner and therefore share its resource-tracker
+    process: the duplicate registration collapses into the owner's
+    entry and is cleared by the owner's ``unlink``.  (Attaching from a
+    process tree that does not share the owner's tracker is outside
+    this module's protocol on < 3.13.)
+    """
+    try:
+        return _QuietSharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:  # pragma: no cover - Python < 3.13 path, version-dependent
+        return _QuietSharedMemory(name=name)
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Location of one array inside a shared segment."""
+
+    name: str
+    dtype: str
+    shape: Tuple[int, ...]
+    offset: int
+
+
+@dataclass(frozen=True)
+class ArrayBundleManifest:
+    """Picklable description of one published array bundle.
+
+    ``segment`` names the shared-memory block; ``arrays`` locate each
+    named array inside it; ``meta`` carries small picklable extras
+    (graph sizes, δ values, ...).  A manifest is all a worker needs to
+    attach — ship it over any IPC channel.
+    """
+
+    segment: str
+    arrays: Tuple[ArraySpec, ...]
+    meta: Tuple[Tuple[str, object], ...] = ()
+
+    def metadata(self) -> Dict[str, object]:
+        return dict(self.meta)
+
+
+class SharedArrays:
+    """Owner handle of one published bundle: the segment plus manifest.
+
+    ``close()`` unmaps *and* unlinks — the owner-side end-of-life call.
+    A finalizer does the same at garbage collection / interpreter exit,
+    so abandoned handles never leak ``/dev/shm`` segments.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, manifest: ArrayBundleManifest) -> None:
+        self._shm = shm
+        self.manifest = manifest
+        self.nbytes = shm.size
+        self._finalizer = weakref.finalize(self, _destroy_segment, shm)
+
+    def close(self) -> None:
+        """Unmap and unlink the segment (idempotent)."""
+        self._finalizer()
+
+    @property
+    def name(self) -> str:
+        return self.manifest.segment
+
+    def __enter__(self) -> "SharedArrays":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SharedArrays(segment={self.name!r}, nbytes={self.nbytes})"
+
+
+def _destroy_segment(shm: shared_memory.SharedMemory) -> None:
+    try:
+        shm.close()
+    except BufferError:  # pragma: no cover - live exports keep the mapping
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+
+
+def _publish_into_segment(
+    arrays: Mapping[str, np.ndarray], meta: Optional[Mapping[str, object]]
+) -> Tuple[shared_memory.SharedMemory, ArrayBundleManifest]:
+    specs = []
+    offset = 0
+    for name, arr in arrays.items():
+        arr = np.ascontiguousarray(arr)
+        offset = -(-offset // _ALIGN) * _ALIGN
+        specs.append(ArraySpec(name, arr.dtype.str, arr.shape, offset))
+        offset += arr.nbytes
+    shm = _QuietSharedMemory(create=True, size=max(offset, 1))
+    try:
+        for spec, arr in zip(specs, arrays.values()):
+            arr = np.ascontiguousarray(arr)
+            view = np.frombuffer(
+                shm.buf, dtype=np.dtype(spec.dtype), count=arr.size, offset=spec.offset
+            )
+            view[:] = arr.reshape(-1)
+    except BaseException:
+        _destroy_segment(shm)
+        raise
+    manifest = ArrayBundleManifest(
+        segment=shm.name,
+        arrays=tuple(specs),
+        meta=tuple(sorted((meta or {}).items())),
+    )
+    return shm, manifest
+
+
+def publish_arrays(
+    arrays: Mapping[str, np.ndarray], meta: Optional[Mapping[str, object]] = None
+) -> SharedArrays:
+    """Copy named arrays into one new shared segment; return the handle.
+
+    The single copy here is the *only* copy in the pool architecture:
+    every worker attaches views over the same pages afterwards.
+    """
+    return SharedArrays(*_publish_into_segment(arrays, meta))
+
+
+class AttachedArrays:
+    """Worker-side view of a published bundle: zero-copy, read-only.
+
+    Keep the instance alive as long as any of its ``arrays`` views is
+    in use; ``close()`` unmaps (never unlinks — that is the owner's
+    job) and is forgiving about views that still exist.
+    """
+
+    def __init__(self, manifest: ArrayBundleManifest) -> None:
+        self.manifest = manifest
+        self._shm = _untracked_attach(manifest.segment)
+        self.arrays: Dict[str, np.ndarray] = {}
+        for spec in manifest.arrays:
+            count = int(np.prod(spec.shape)) if spec.shape else 1
+            view = np.frombuffer(
+                self._shm.buf, dtype=np.dtype(spec.dtype), count=count, offset=spec.offset
+            ).reshape(spec.shape)
+            view.flags.writeable = False
+            self.arrays[spec.name] = view
+
+    def close(self) -> None:
+        """Unmap the segment (safe to call with views still alive)."""
+        self.arrays = {}
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - caller still holds a view
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AttachedArrays(segment={self.manifest.segment!r}, n={len(self.arrays)})"
+
+
+# ----------------------------------------------------------------------
+# whole-graph publication
+# ----------------------------------------------------------------------
+
+_EDGE_PREFIX = "edge."
+_COL_PREFIX = "col."
+
+
+class SharedGraph(SharedArrays):
+    """Owner handle of one published graph (see :func:`publish_graph`)."""
+
+    def __init__(
+        self, shm: shared_memory.SharedMemory, manifest: ArrayBundleManifest
+    ) -> None:
+        super().__init__(shm, manifest)
+        meta = manifest.metadata()
+        self.num_nodes = meta["num_nodes"]
+        self.num_edges = meta["num_edges"]
+        self.has_columnar = meta["columnar_scalars"] is not None
+
+
+def publish_graph(graph: TemporalGraph, *, include_columnar: bool = True) -> SharedGraph:
+    """Publish a graph's arrays into shared memory; return the handle.
+
+    Copies the canonical edge columns and, with ``include_columnar``
+    (the default), every array of ``graph.columnar()`` — forcing the
+    columnar build first if needed, so the O(m log m) construction
+    happens exactly once, in the owner.  The handle's ``manifest`` is
+    what workers feed to :func:`attach_graph`.
+    """
+    arrays: Dict[str, np.ndarray] = {
+        _EDGE_PREFIX + "src": graph.sources,
+        _EDGE_PREFIX + "dst": graph.destinations,
+        _EDGE_PREFIX + "t": graph.timestamps,
+    }
+    columnar_scalars: Optional[Tuple[Tuple[str, object], ...]] = None
+    if include_columnar:
+        col = graph.columnar()
+        scalars = []
+        for name in ColumnarGraph.__slots__:
+            if name == "delta_cache":
+                continue
+            value = getattr(col, name)
+            if isinstance(value, np.ndarray):
+                arrays[_COL_PREFIX + name] = value
+            else:
+                scalars.append((name, value))
+        columnar_scalars = tuple(scalars)
+    shm, manifest = _publish_into_segment(
+        arrays,
+        meta={
+            "num_nodes": graph.num_nodes,
+            "num_edges": graph.num_edges,
+            "version": graph.version,
+            "columnar_scalars": columnar_scalars,
+        },
+    )
+    return SharedGraph(shm, manifest)
+
+
+class AttachedGraph:
+    """Worker-side reassembled graph over a shared segment.
+
+    ``graph`` is a real :class:`TemporalGraph` whose edge columns (and
+    cached ``ColumnarGraph``, when published) are zero-copy views into
+    the shared pages; python-loop views (node sequences, pair index)
+    are built lazily per process on first use.  ``close()`` drops the
+    graph and unmaps.
+    """
+
+    def __init__(self, manifest: ArrayBundleManifest) -> None:
+        self._attached = AttachedArrays(manifest)
+        meta = manifest.metadata()
+        arrays = self._attached.arrays
+        self.graph = TemporalGraph.from_canonical_arrays(
+            arrays[_EDGE_PREFIX + "src"],
+            arrays[_EDGE_PREFIX + "dst"],
+            arrays[_EDGE_PREFIX + "t"],
+            num_nodes=int(meta["num_nodes"]),
+        )
+        scalars = meta["columnar_scalars"]
+        if scalars is not None:
+            col_arrays = {
+                name[len(_COL_PREFIX):]: arr
+                for name, arr in arrays.items()
+                if name.startswith(_COL_PREFIX)
+            }
+            self.graph._columnar = ColumnarGraph._attach(col_arrays, dict(scalars))
+            self.graph._columnar_version = self.graph.version
+
+    def close(self) -> None:
+        """Release the local mapping (the owner's segment is untouched)."""
+        self.graph = None  # type: ignore[assignment]
+        self._attached.close()
+
+
+def attach_graph(manifest: ArrayBundleManifest) -> AttachedGraph:
+    """Attach to a published graph; see :class:`AttachedGraph`.
+
+    Raises :class:`~repro.errors.ValidationError` when the manifest
+    does not describe a graph bundle (use :func:`attach_arrays` for raw
+    bundles).
+    """
+    if _EDGE_PREFIX + "src" not in {spec.name for spec in manifest.arrays}:
+        raise ValidationError(
+            f"manifest for segment {manifest.segment!r} is not a graph bundle"
+        )
+    return AttachedGraph(manifest)
+
+
+def attach_arrays(manifest: ArrayBundleManifest) -> AttachedArrays:
+    """Attach to any published bundle; see :class:`AttachedArrays`."""
+    return AttachedArrays(manifest)

@@ -40,6 +40,7 @@ API boundary.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 import numpy as np
@@ -239,6 +240,10 @@ class StreamingEdgeStore:
         """
         if not isinstance(t, (int, float, np.integer, np.floating)):
             raise ValidationError(f"timestamp must be numeric, got {t!r}")
+        if isinstance(t, (float, np.floating)) and not math.isfinite(t):
+            # NaN compares false against the watermark and infinities
+            # break window arithmetic; neither can be a live edge.
+            raise ValidationError(f"timestamp must be finite, got {t!r}")
         if u == v:
             if self._on_self_loop == "error":
                 raise ValidationError(f"self-loop edge ({u!r}, {v!r}, {t!r})")

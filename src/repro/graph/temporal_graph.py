@@ -30,6 +30,7 @@ graphs with simultaneous edges.
 
 from __future__ import annotations
 
+import math
 from typing import (
     TYPE_CHECKING,
     Dict,
@@ -96,6 +97,38 @@ class NodeSequence:
         return f"NodeSequence(node={self.node}, length={len(self)})"
 
 
+class _IdentityIndex:
+    """Label→id mapping for graphs whose labels *are* the internal ids.
+
+    The canonical-array constructor adopts another graph's dense id
+    columns, so its label mapping is the identity on ``0..n-1``.
+    Materializing that as a real dict costs O(n) memory per process —
+    exactly what zero-copy shared-memory workers must not pay — while
+    this view answers the same lookups in O(1) and no space.
+    """
+
+    __slots__ = ("n",)
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+
+    def __getitem__(self, label: int) -> int:
+        if isinstance(label, (int, np.integer)) and 0 <= label < self.n:
+            return int(label)
+        raise KeyError(label)
+
+    def get(self, label, default=None):
+        if isinstance(label, (int, np.integer)) and 0 <= label < self.n:
+            return int(label)
+        return default
+
+    def __contains__(self, label) -> bool:
+        return isinstance(label, (int, np.integer)) and 0 <= label < self.n
+
+    def __len__(self) -> int:
+        return self.n
+
+
 class TemporalGraph:
     """An immutable directed temporal graph.
 
@@ -144,6 +177,10 @@ class TemporalGraph:
                 ) from exc
             if not isinstance(t, (int, float, np.integer, np.floating)):
                 raise ValidationError(f"timestamp must be numeric, got {t!r}")
+            if isinstance(t, (float, np.floating)) and not math.isfinite(t):
+                # NaN/inf poison the canonical sort and every δ-window
+                # comparison; reject at construction like the parsers do.
+                raise ValidationError(f"timestamp must be finite, got {t!r}")
             if u == v:
                 if on_self_loop == "error":
                     raise ValidationError(f"self-loop edge ({u!r}, {v!r}, {t!r})")
@@ -163,14 +200,28 @@ class TemporalGraph:
             self._t = np.array(ts, dtype=np.float64)
 
         self._version = 0
-        self._rebuild_sequences()
+        self._sequences: Optional[List[NodeSequence]] = None
         self._pair_index: Optional[Dict[Tuple[int, int], Tuple[List[float], List[int], List[int]]]] = None
         self._edge_lists: Optional[Tuple[List[int], List[int], List[float]]] = None
         self._columnar: Optional["ColumnarGraph"] = None
         self._columnar_version = -1
 
+    def _ensure_sequences(self) -> List[NodeSequence]:
+        """Build the per-node ``S_u`` views lazily, on first access.
+
+        Laziness matters for two reasons: columnar-only consumers (the
+        vectorized kernels, shared-memory pool workers) never pay the
+        O(m) Python loop, and the HARE fork path forces the build in
+        the *parent* (see :func:`repro.parallel.executor.run_batches`)
+        so children inherit it copy-on-write.
+        """
+        if self._sequences is None:
+            self._rebuild_sequences()
+        assert self._sequences is not None
+        return self._sequences
+
     def _rebuild_sequences(self) -> None:
-        self._sequences: List[NodeSequence] = [NodeSequence(u) for u in range(len(self._labels))]
+        self._sequences = [NodeSequence(u) for u in range(len(self._labels))]
         src_list = self._src.tolist()
         dst_list = self._dst.tolist()
         t_list = self._t.tolist()
@@ -208,14 +259,14 @@ class TemporalGraph:
         and keep receiving the *stale* cached ``ColumnarGraph`` — counts
         silently computed against the old edges.  This method is the
         sanctioned mutation protocol: after changing ``_src``/``_dst``/
-        ``_t``, call it to rebuild the node sequences eagerly, drop the
-        lazy pair index / edge lists / columnar store, and bump
+        ``_t``, call it to drop every derived view (node sequences,
+        the lazy pair index / edge lists / columnar store) and bump
         :attr:`version` so any cached-view holder can detect staleness.
         Mutations that never call it are still caught by the version
         stamp check inside :meth:`columnar`.
         """
         self._version += 1
-        self._rebuild_sequences()
+        self._sequences = None
         self._pair_index = None
         self._edge_lists = None
         self._columnar = None
@@ -245,6 +296,62 @@ class TemporalGraph:
                 f"parallel arrays must have equal lengths, got {len(src)}, {len(dst)}, {len(t)}"
             )
         return cls(zip(src, dst, t), **kwargs)
+
+    @classmethod
+    def from_canonical_arrays(
+        cls,
+        src: np.ndarray,
+        dst: np.ndarray,
+        t: np.ndarray,
+        *,
+        num_nodes: Optional[int] = None,
+    ) -> "TemporalGraph":
+        """Wrap already-canonical edge columns without copying or sorting.
+
+        The zero-copy constructor behind the shared-memory attach path
+        (:func:`repro.graph.shared.attach_graph`): ``src``/``dst`` must
+        hold dense internal ids, ``t`` must already be sorted by the
+        canonical ``(t, input position)`` order, and self-loops must
+        already be gone — exactly the state of another graph's edge
+        columns.  The arrays are adopted as-is (int64/time dtype views;
+        no re-interning), so a graph built here over shared-memory
+        views stays zero-copy.  Node labels are the internal ids
+        themselves, served by O(1) identity views (``range`` /
+        :class:`_IdentityIndex`) rather than materialized per process.
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        t = np.asarray(t)
+        if not (len(src) == len(dst) == len(t)):
+            raise ValidationError(
+                f"parallel arrays must have equal lengths, got {len(src)}, {len(dst)}, {len(t)}"
+            )
+        if np.issubdtype(t.dtype, np.floating) and not np.isfinite(t).all():
+            # Same boundary rule as every other construction path: NaN
+            # also defeats the sortedness check below (all comparisons
+            # false), so it must be rejected first.
+            raise ValidationError("timestamps must be finite")
+        if len(t) and np.any(t[1:] < t[:-1]):
+            raise ValidationError("timestamps are not in canonical (sorted) order")
+        if len(src) and bool(np.any(src == dst)):
+            raise ValidationError("canonical edge columns must not contain self-loops")
+        n = int(num_nodes) if num_nodes is not None else (
+            int(max(src.max(), dst.max())) + 1 if len(src) else 0
+        )
+        graph = cls.__new__(cls)
+        graph._labels = range(n)  # identity labels, O(1) memory
+        graph._index = _IdentityIndex(n)
+        graph.num_self_loops_dropped = 0
+        graph._src = src
+        graph._dst = dst
+        graph._t = t if np.issubdtype(t.dtype, np.floating) else t.astype(np.int64, copy=False)
+        graph._version = 0
+        graph._sequences = None
+        graph._pair_index = None
+        graph._edge_lists = None
+        graph._columnar = None
+        graph._columnar_version = -1
+        return graph
 
     # ------------------------------------------------------------------
     # basic properties
@@ -302,7 +409,7 @@ class TemporalGraph:
         multi-edge counts separately), the quantity HARE's scheduler
         balances on.
         """
-        return len(self._sequences[node])
+        return len(self._ensure_sequences()[node])
 
     def degrees(self) -> np.ndarray:
         """Array of temporal degrees ``d_u`` indexed by internal node id.
@@ -327,11 +434,11 @@ class TemporalGraph:
         The returned object is shared, not copied; callers must not
         mutate it.
         """
-        return self._sequences[node]
+        return self._ensure_sequences()[node]
 
     def sequences(self) -> List[NodeSequence]:
         """All node sequences, indexed by internal node id."""
-        return self._sequences
+        return self._ensure_sequences()
 
     def pair_timeline(self, a: int, b: int) -> Tuple[List[float], List[int], List[int]]:
         """Return ``E(a, b)``: all edges between ``a`` and ``b``.
@@ -428,7 +535,7 @@ class TemporalGraph:
 
     def static_neighbors(self, node: int) -> List[int]:
         """Distinct neighbours of ``node`` in the induced static graph."""
-        return sorted(set(self._sequences[node].nbrs))
+        return sorted(set(self._ensure_sequences()[node].nbrs))
 
     # ------------------------------------------------------------------
     # iteration / conversion

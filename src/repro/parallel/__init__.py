@@ -11,14 +11,19 @@ analogue).
 """
 
 from repro.parallel.scheduler import WorkBatch, build_batches, partition_static
-from repro.parallel.executor import run_batches
+from repro.parallel.executor import resolve_start_method, run_batches
 from repro.parallel.hare import hare_count, hare_star_pair, hare_triangle
+from repro.parallel.pool import WorkerPool, close_shared_pools, shared_pool
 
 __all__ = [
     "WorkBatch",
+    "WorkerPool",
     "build_batches",
+    "close_shared_pools",
     "partition_static",
+    "resolve_start_method",
     "run_batches",
+    "shared_pool",
     "hare_count",
     "hare_star_pair",
     "hare_triangle",

@@ -1,21 +1,39 @@
 """Process-pool execution of HARE work batches.
 
-Workers are forked so they share the parent's graph (and its pair
-index) copy-on-write — the Python analogue of OpenMP threads reading a
-shared graph.  Each worker accumulates into private counters and the
-parent merges them afterwards, which is exactly the OpenMP
-``reduction`` clause the paper relies on for intra-node parallelism
-("each thread keeps the backup of these variables, and then reduce and
-output the final result").
+Two parallel runtimes implement the paper's "OpenMP threads over one
+shared graph" model:
 
-If the platform cannot fork (or a single worker is requested) the
-batches run serially in-process, preserving results exactly.
+* **fork-per-call** (the historical path): workers are forked so they
+  share the parent's graph (and its pair index / columnar store)
+  copy-on-write.  Cheap on POSIX, impossible on spawn-only platforms.
+* **persistent shared-memory pool**
+  (:class:`repro.parallel.pool.WorkerPool`): long-lived workers attach
+  the graph's arrays from :mod:`multiprocessing.shared_memory` once
+  and then execute batches by id — spawn-safe, and the startup cost is
+  paid once per graph instead of once per request.
+
+Either way each worker accumulates into private counters and the
+parent merges them afterwards — exactly the OpenMP ``reduction``
+clause the paper relies on for intra-node parallelism ("each thread
+keeps the backup of these variables, and then reduce and output the
+final result").
+
+Routing: an explicit ``pool=`` wins; otherwise the start method
+(explicit argument, then the ``REPRO_START_METHOD`` environment
+variable, then the platform default) decides — ``fork`` runs the
+copy-on-write path, anything else goes through a process-wide shared
+:class:`~repro.parallel.pool.WorkerPool` so spawn platforms get real
+parallelism instead of the historical silent serial fallback.  If the
+platform cannot fork (or a single worker is requested) with no pool
+available, the batches run serially in-process, preserving results
+exactly.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
-from typing import Iterable, List, Optional, Tuple
+import os
+from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple
 
 from repro.core.counters import PairCounter, StarCounter, TriangleCounter
 from repro.core.fast_star import count_star_pair_tasks
@@ -24,8 +42,15 @@ from repro.errors import ParallelExecutionError, ValidationError
 from repro.graph.temporal_graph import TemporalGraph
 from repro.parallel.scheduler import WorkBatch
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.parallel.pool import WorkerPool
+
 #: What a worker returns: raw counter cell lists (cheap to pickle).
 _WorkerResult = Tuple[Optional[List[int]], Optional[List[int]], Optional[List[int]]]
+
+#: Environment override for the parallel start method ("fork"/"spawn");
+#: CI runs the suite under both to keep the spawn path honest.
+START_METHOD_ENV = "REPRO_START_METHOD"
 
 # Worker globals, inherited through fork.
 _GRAPH: Optional[TemporalGraph] = None
@@ -35,32 +60,56 @@ _DO_TRIANGLE: bool = True
 _BACKEND: str = "python"
 
 
-def _run_batch(batch: WorkBatch) -> _WorkerResult:
-    assert _GRAPH is not None
+def execute_tasks(
+    graph: TemporalGraph,
+    delta: float,
+    tasks: Iterable,
+    *,
+    star_pair: bool = True,
+    triangle: bool = True,
+    backend: str = "python",
+) -> _WorkerResult:
+    """Run one batch's tasks against a graph; return raw cell lists.
+
+    The single kernel-dispatch point shared by every runtime: the
+    serial path, forked workers (via the module globals) and the
+    shared-memory pool workers all call this.  Raw cell lists keep the
+    IPC payload identical across backends.
+    """
     star_data = pair_data = tri_data = None
-    if _BACKEND == "columnar":
-        # Vectorized kernels over the pre-forked columnar arrays; raw
-        # cell lists keep the IPC payload identical to the python path.
+    if backend == "columnar":
+        # Vectorized kernels over the (forked or attached) columnar
+        # arrays.
         from repro.core.columnar_kernels import (
             count_star_pair_columnar,
             count_triangle_columnar,
         )
 
-        if _DO_STAR_PAIR:
-            star_arr, pair_arr = count_star_pair_columnar(
-                _GRAPH, _DELTA, batch.tasks
-            )
+        if star_pair:
+            star_arr, pair_arr = count_star_pair_columnar(graph, delta, tasks)
             star_data, pair_data = star_arr.tolist(), pair_arr.tolist()
-        if _DO_TRIANGLE:
-            tri_data = count_triangle_columnar(_GRAPH, _DELTA, batch.tasks).tolist()
+        if triangle:
+            tri_data = count_triangle_columnar(graph, delta, tasks).tolist()
         return (star_data, pair_data, tri_data)
-    if _DO_STAR_PAIR:
-        star, pair = count_star_pair_tasks(_GRAPH, _DELTA, batch.tasks)
+    if star_pair:
+        star, pair = count_star_pair_tasks(graph, delta, tasks)
         star_data, pair_data = star.data, pair.data
-    if _DO_TRIANGLE:
-        tri = count_triangle_tasks(_GRAPH, _DELTA, batch.tasks)
+    if triangle:
+        tri = count_triangle_tasks(graph, delta, tasks)
         tri_data = tri.data
     return (star_data, pair_data, tri_data)
+
+
+def _run_batch(batch: WorkBatch) -> _WorkerResult:
+    assert _GRAPH is not None
+    return execute_tasks(
+        _GRAPH,
+        _DELTA,
+        batch.tasks,
+        star_pair=_DO_STAR_PAIR,
+        triangle=_DO_TRIANGLE,
+        backend=_BACKEND,
+    )
 
 
 def _fork_context() -> Optional[mp.context.BaseContext]:
@@ -68,6 +117,50 @@ def _fork_context() -> Optional[mp.context.BaseContext]:
         return mp.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
         return None
+
+
+def resolve_start_method(start_method: Optional[str] = None) -> str:
+    """Concrete start method: explicit arg, then env, then platform.
+
+    ``"fork"`` where available (POSIX), ``"spawn"`` otherwise.  An
+    explicit/env request for an unsupported method raises
+    :class:`~repro.errors.ValidationError`.
+    """
+    method = start_method or os.environ.get(START_METHOD_ENV) or None
+    available = mp.get_all_start_methods()
+    if method is None:
+        return "fork" if "fork" in available else "spawn"
+    if method not in available:
+        raise ValidationError(
+            f"start method {method!r} is not available here (choose from {available})"
+        )
+    return method
+
+
+def resolved_runtime(
+    pool=None,
+    workers: int = 1,
+    start_method: Optional[str] = None,
+    has_work: bool = True,
+) -> str:
+    """Which runtime :func:`run_batches` will execute on.
+
+    One of ``"pool"`` (explicit persistent pool), ``"serial"``
+    (in-process), ``"fork-per-call"`` (the transient fork pool) or
+    ``"shared-pool"`` (the process-wide pool that serves non-fork
+    start methods).  The single decision point — callers that label
+    results (``hare_count``'s ``meta["runtime"]``) ask here instead of
+    re-deriving it, so provenance can never drift from routing.
+    """
+    if not has_work:
+        return "serial"
+    if pool is not None:
+        return "pool"
+    if workers == 1:
+        return "serial"
+    if resolve_start_method(start_method) == "fork" and _fork_context() is not None:
+        return "fork-per-call"
+    return "shared-pool"
 
 
 def run_batches(
@@ -79,6 +172,8 @@ def run_batches(
     star_pair: bool = True,
     triangle: bool = True,
     backend: str = "python",
+    pool: Optional["WorkerPool"] = None,
+    start_method: Optional[str] = None,
 ) -> Tuple[Optional[StarCounter], Optional[PairCounter], Optional[TriangleCounter]]:
     """Execute work batches and reduce the per-worker counters.
 
@@ -86,9 +181,13 @@ def run_batches(
     finish) or ``"static"`` (batches must already be pre-assigned via
     :func:`~repro.parallel.scheduler.partition_static`; they are
     mapped one-to-one onto workers).  ``backend`` selects the kernels
-    workers run (``"python"`` loops or ``"columnar"`` vectorized);
-    either way the shared read-only view is forced *before* forking so
-    children inherit it copy-on-write instead of rebuilding it.
+    workers run (``"python"`` loops or ``"columnar"`` vectorized).
+    ``pool`` routes execution to a persistent
+    :class:`~repro.parallel.pool.WorkerPool`; without one,
+    ``start_method`` (or ``REPRO_START_METHOD``) picks between the
+    fork copy-on-write path and a process-wide shared pool (see the
+    module docstring).  Results are bit-identical across every
+    runtime.
     """
     if schedule not in ("dynamic", "static"):
         raise ValidationError(f"schedule must be 'dynamic' or 'static', got {schedule!r}")
@@ -99,6 +198,33 @@ def run_batches(
             f"backend must be 'python' or 'columnar', got {backend!r}"
         )
 
+    runtime = resolved_runtime(pool, workers, start_method, has_work=bool(batches))
+    # Both pool runtimes dispatch before any local preparation: their
+    # workers attach shared-memory arrays and build (or install) their
+    # own derived views, so owner-side prep would be pure waste.  An
+    # explicit pool always wins — even for workers == 1, so a
+    # single-worker pool measures/exercises the full resident runtime
+    # rather than silently collapsing to in-process execution.
+    if runtime == "pool":
+        assert pool is not None
+        return pool.run_batches(
+            graph, delta, batches, star_pair=star_pair, triangle=triangle,
+            backend=backend,
+        )
+    if runtime == "shared-pool":
+        # Spawn (or other non-fork) start method: the copy-on-write
+        # trick cannot work, so route through the process-wide shared
+        # pool — real parallelism where the old path silently degraded
+        # to serial.
+        from repro.parallel.pool import shared_pool
+
+        return shared_pool(
+            workers, start_method=resolve_start_method(start_method)
+        ).run_batches(
+            graph, delta, batches, star_pair=star_pair, triangle=triangle,
+            backend=backend,
+        )
+
     global _GRAPH, _DELTA, _DO_STAR_PAIR, _DO_TRIANGLE, _BACKEND
     if backend == "columnar":
         from repro.core.columnar_kernels import warm_delta_cache
@@ -107,8 +233,13 @@ def run_batches(
         # every worker then reads them copy-on-write instead of
         # repeating the O(m log m) setup per batch.
         warm_delta_cache(graph.columnar(), delta, star_pair=star_pair)
-    elif triangle:
-        graph.ensure_pair_index()
+    else:
+        # Python kernels read the lazily-built sequence views (and the
+        # pair index for triangles); force them pre-fork so children
+        # inherit one copy instead of each rebuilding their own.
+        graph.sequences()
+        if triangle:
+            graph.ensure_pair_index()
 
     star = StarCounter() if star_pair else None
     pair = PairCounter() if star_pair else None
@@ -123,26 +254,31 @@ def run_batches(
         if tri is not None and tri_data is not None:
             tri.merge(TriangleCounter(tri_data))
 
+    if runtime == "serial":
+        for batch in batches:
+            reduce_result(execute_tasks(
+                graph, delta, batch.tasks,
+                star_pair=star_pair, triangle=triangle, backend=backend,
+            ))
+        return star, pair, tri
+
     ctx = _fork_context()
+    assert runtime == "fork-per-call" and ctx is not None
     _GRAPH = graph
     _DELTA = delta
     _DO_STAR_PAIR = star_pair
     _DO_TRIANGLE = triangle
     _BACKEND = backend
     try:
-        if workers == 1 or ctx is None or not batches:
-            for batch in batches:
-                reduce_result(_run_batch(batch))
-        else:
-            with ctx.Pool(processes=workers) as pool:
-                if schedule == "dynamic":
-                    results: Iterable[_WorkerResult] = pool.imap_unordered(
-                        _run_batch, batches, chunksize=1
-                    )
-                else:
-                    results = pool.map(_run_batch, batches)
-                for result in results:
-                    reduce_result(result)
+        with ctx.Pool(processes=workers) as proc_pool:
+            if schedule == "dynamic":
+                results: Iterable[_WorkerResult] = proc_pool.imap_unordered(
+                    _run_batch, batches, chunksize=1
+                )
+            else:
+                results = proc_pool.map(_run_batch, batches)
+            for result in results:
+                reduce_result(result)
     except ParallelExecutionError:
         raise
     except Exception as exc:  # pragma: no cover - worker crash path

@@ -5,6 +5,13 @@
 exact results (tested), produced by the two-level decomposition of
 §IV-C.  ``hare_star_pair`` / ``hare_triangle`` expose the individual
 passes for the paper's per-category benchmarks (HARE-Pair in Fig. 11).
+
+Every entry point accepts ``pool=`` (a persistent
+:class:`~repro.parallel.pool.WorkerPool`; repeated calls against the
+same graph then reuse the published shared-memory arrays, the memoized
+batch plan, and — for identical requests — the raw-counter cache) and
+``start_method=`` (``"fork"``/``"spawn"`` routing when no pool is
+given; see :func:`repro.parallel.executor.run_batches`).
 """
 
 from __future__ import annotations
@@ -14,11 +21,12 @@ from typing import Optional, Tuple, TYPE_CHECKING
 from repro.core.counters import MotifCounts, PairCounter, StarCounter, TriangleCounter
 from repro.errors import ValidationError
 from repro.graph.temporal_graph import TemporalGraph
-from repro.parallel.executor import run_batches
+from repro.parallel.executor import resolved_runtime, run_batches
 from repro.parallel.scheduler import build_batches, partition_static
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.registry import CountRequest
+    from repro.parallel.pool import WorkerPool
 
 
 def _prepare_batches(
@@ -27,7 +35,14 @@ def _prepare_batches(
     thrd: Optional[float],
     schedule: str,
     split_factor: int,
+    pool: Optional["WorkerPool"] = None,
 ):
+    if pool is not None:
+        # The pool memoizes the decomposition per published graph, so
+        # repeated requests skip the planning pass entirely.
+        return pool.plan_batches(
+            graph, workers, thrd=thrd, schedule=schedule, split_factor=split_factor
+        )
     batches = build_batches(graph, workers, thrd=thrd, split_factor=split_factor)
     if schedule == "static":
         batches = partition_static(batches, workers)
@@ -44,27 +59,40 @@ def hare_count(
     categories: str = "all",
     split_factor: int = 4,
     backend: str = "python",
+    pool: Optional["WorkerPool"] = None,
+    start_method: Optional[str] = None,
 ) -> MotifCounts:
     """Count all motifs with the HARE parallel framework.
 
     Parameters mirror :func:`repro.core.api.count_motifs`; see
     :func:`repro.parallel.scheduler.build_batches` for ``thrd`` and
     ``split_factor`` semantics.  ``backend`` selects the per-worker
-    kernels (python loops or vectorized columnar).  Results are
-    bit-identical to the serial FAST pass either way.
+    kernels (python loops or vectorized columnar); ``pool`` reuses a
+    persistent shared-memory worker pool.  Results are bit-identical
+    to the serial FAST pass in every configuration.
     """
     if delta < 0:
         raise ValidationError(f"delta must be non-negative, got {delta}")
     star_pair = categories in ("all", "star", "pair", "star_pair")
     triangle = categories in ("all", "triangle")
-    batches = _prepare_batches(graph, workers, thrd, schedule, split_factor)
+    batches = _prepare_batches(graph, workers, thrd, schedule, split_factor, pool)
     star, pair, tri = run_batches(
         graph, delta, batches, workers, schedule,
         star_pair=star_pair, triangle=triangle, backend=backend,
+        pool=pool, start_method=start_method,
     )
     result = MotifCounts.from_counters(
         star, pair, tri, algorithm=f"hare[{workers}]", delta=delta,
-        meta={"workers": workers, "schedule": schedule, "backend": backend},
+        meta={
+            "workers": workers,
+            "schedule": schedule,
+            "backend": backend,
+            # The same decision run_batches routed on — provenance can
+            # never claim "per-call" for a shared-pool execution.
+            "runtime": resolved_runtime(
+                pool, workers, start_method, has_work=bool(batches)
+            ),
+        },
     )
     return result.masked(categories)
 
@@ -80,6 +108,8 @@ def hare_count_request(request: "CountRequest") -> MotifCounts:
         schedule=request.schedule,
         categories=request.categories,
         backend=backend,
+        pool=request.pool,
+        start_method=request.start_method,
     )
 
 
@@ -92,12 +122,15 @@ def hare_star_pair(
     schedule: str = "dynamic",
     split_factor: int = 4,
     backend: str = "python",
+    pool: Optional["WorkerPool"] = None,
+    start_method: Optional[str] = None,
 ) -> Tuple[StarCounter, PairCounter]:
     """Parallel FAST-Star pass (the paper's HARE-Pair workload)."""
-    batches = _prepare_batches(graph, workers, thrd, schedule, split_factor)
+    batches = _prepare_batches(graph, workers, thrd, schedule, split_factor, pool)
     star, pair, _ = run_batches(
         graph, delta, batches, workers, schedule,
         star_pair=True, triangle=False, backend=backend,
+        pool=pool, start_method=start_method,
     )
     assert star is not None and pair is not None
     return star, pair
@@ -112,12 +145,15 @@ def hare_triangle(
     schedule: str = "dynamic",
     split_factor: int = 4,
     backend: str = "python",
+    pool: Optional["WorkerPool"] = None,
+    start_method: Optional[str] = None,
 ) -> TriangleCounter:
     """Parallel FAST-Tri pass."""
-    batches = _prepare_batches(graph, workers, thrd, schedule, split_factor)
+    batches = _prepare_batches(graph, workers, thrd, schedule, split_factor, pool)
     _, _, tri = run_batches(
         graph, delta, batches, workers, schedule,
         star_pair=False, triangle=True, backend=backend,
+        pool=pool, start_method=start_method,
     )
     assert tri is not None
     return tri

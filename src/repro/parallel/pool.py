@@ -1,0 +1,714 @@
+"""A persistent, shared-memory HARE worker pool.
+
+The fork-per-call executor rebuilds its whole parallel runtime on
+every request: a fresh process pool, fresh copy-on-write mappings,
+fresh per-δ kernel tables in every child — and it cannot run at all on
+spawn-only platforms.  :class:`WorkerPool` is the resident
+alternative, the Python analogue of the paper's long-lived OpenMP
+thread team reading one shared graph (§IV-C):
+
+* **Workers are long-lived processes** (fork- and spawn-safe), started
+  once and fed :class:`~repro.parallel.scheduler.WorkBatch` task lists
+  through one shared queue — pulling the next batch as they finish is
+  exactly the dynamic work-stealing schedule of the fork path.
+* **Graphs are published once** into
+  :mod:`multiprocessing.shared_memory`
+  (:func:`repro.graph.shared.publish_graph`) and attached zero-copy by
+  every worker; repeated requests against the same graph pay no
+  per-request pickling, forking, or columnar rebuild.  The per-δ
+  kernel tables are exported once by the owner and shared the same way
+  (:func:`repro.core.columnar_kernels.export_delta_cache`), so N
+  workers hold one copy instead of N.
+* **Reduction is per worker**: a worker keeps merging batch counters
+  locally and ships one partial per idle moment, not one message per
+  batch — the OpenMP ``reduction`` clause with IPC proportional to
+  worker count, not batch count.
+* **Plans and results are cached**: the HARE batch decomposition is
+  memoized per (graph, workers, thrd, schedule), and — because counts
+  are a pure function of the immutable, version-stamped graph —
+  identical repeated requests are answered from a small LRU of raw
+  counters without touching the workers at all.  Both caches are keyed
+  through :attr:`TemporalGraph.version
+  <repro.graph.temporal_graph.TemporalGraph.version>`, so sanctioned
+  in-place mutation republishes instead of serving stale counts.
+  Pass ``result_cache=False`` (or ``reuse=False`` per call) to force
+  kernel execution, e.g. when benchmarking or conformance-testing the
+  execution paths themselves.
+
+Lifecycle: create → (:meth:`WorkerPool.publish` |
+:meth:`WorkerPool.run_batches`)* → :meth:`WorkerPool.close`.  The pool
+is also a context manager, and a garbage-collected pool shuts its
+workers down and unlinks every segment it published — but explicit
+``close()`` is kinder to ``/dev/shm``.  :func:`shared_pool` hands out
+process-wide pools keyed by (start method, worker count) so repeated
+API calls amortize startup without coordinating pool objects.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import pickle
+import queue
+import threading
+import traceback
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import multiprocessing as mp
+
+import numpy as np
+
+from repro.core.counters import PairCounter, StarCounter, TriangleCounter
+from repro.errors import ParallelExecutionError, ValidationError
+from repro.graph.shared import (
+    SharedArrays,
+    SharedGraph,
+    attach_arrays,
+    attach_graph,
+    publish_arrays,
+    publish_graph,
+)
+from repro.graph.temporal_graph import TemporalGraph
+from repro.parallel.scheduler import WorkBatch
+
+#: Worker-side cap on concurrently attached graphs (LRU evicted).
+WORKER_GRAPH_CACHE = 4
+
+#: Owner-side cap on auto-published (unpinned) graphs kept resident.
+AUTO_GRAPH_CACHE = 4
+
+#: Owner-side cap on published per-(graph, δ) kernel-table segments.
+DELTA_TABLE_CACHE = 8
+
+#: Entries kept in the repeated-request raw-counter cache.
+RESULT_CACHE = 32
+
+#: Seconds a worker waits for more work before flushing its partial.
+_FLUSH_IDLE_SECONDS = 0.002
+
+#: Seconds between liveness checks while the owner waits on results.
+_POLL_SECONDS = 1.0
+
+
+# ----------------------------------------------------------------------
+# worker process
+# ----------------------------------------------------------------------
+
+class _WorkerGraph:
+    """One attached graph plus its installed δ-table attachments."""
+
+    __slots__ = ("attached", "delta_attachments", "installed_delta")
+
+    def __init__(self, manifest_blob: bytes) -> None:
+        self.attached = attach_graph(pickle.loads(manifest_blob))
+        #: (delta, star_pair) -> AttachedArrays (kept alive while the
+        #: views sit inside the columnar store's delta_cache), LRU
+        #: capped at :data:`DELTA_TABLE_CACHE` so a long δ sweep does
+        #: not leave every historical table bundle mapped forever.
+        self.delta_attachments: "OrderedDict[Tuple[float, bool], object]" = OrderedDict()
+        self.installed_delta: Optional[Tuple[float, bool]] = None
+
+    @property
+    def graph(self) -> TemporalGraph:
+        return self.attached.graph
+
+    def install_delta(
+        self, manifest_blob: Optional[bytes], delta: float, star_pair: bool
+    ) -> None:
+        """Make the shared per-δ tables resident for the next kernel run."""
+        if manifest_blob is None or self.graph._columnar is None:
+            return
+        from repro.core.columnar_kernels import install_delta_cache
+
+        key = (float(delta), bool(star_pair))
+        if self.installed_delta == key:
+            return
+        bundle = self.delta_attachments.get(key)
+        if bundle is None:
+            bundle = attach_arrays(pickle.loads(manifest_blob))
+            self.delta_attachments[key] = bundle
+        else:
+            self.delta_attachments.move_to_end(key)
+        install_delta_cache(self.graph._columnar, delta, bundle.arrays)
+        self.installed_delta = key
+        while len(self.delta_attachments) > DELTA_TABLE_CACHE:
+            evicted_key = next(iter(self.delta_attachments))
+            if evicted_key == key:  # pragma: no cover - cache >= 1 entry
+                break
+            self.delta_attachments.pop(evicted_key).close()
+
+    def close(self) -> None:
+        for bundle in self.delta_attachments.values():
+            bundle.close()
+        self.delta_attachments = OrderedDict()
+        self.attached.close()
+
+
+class _Partial:
+    """A worker's running reduction for one job."""
+
+    __slots__ = ("job_id", "star", "pair", "tri", "batches")
+
+    def __init__(self, job_id: int) -> None:
+        self.job_id = job_id
+        self.star = self.pair = self.tri = None
+        self.batches = 0
+
+    def add(self, result) -> None:
+        star, pair, tri = result
+        if star is not None:
+            self.star = star if self.star is None else [a + b for a, b in zip(self.star, star)]
+        if pair is not None:
+            self.pair = pair if self.pair is None else [a + b for a, b in zip(self.pair, pair)]
+        if tri is not None:
+            self.tri = tri if self.tri is None else [a + b for a, b in zip(self.tri, tri)]
+        self.batches += 1
+
+
+def _worker_main(task_q, result_q, graph_cache_limit: int = WORKER_GRAPH_CACHE) -> None:
+    """Worker loop: attach graphs by manifest, run batches, reduce.
+
+    Top-level (spawn-picklable).  Protocol: ``("run", job_id, gid,
+    graph_blob, delta_blob, delta, star_pair, triangle, backend,
+    tasks)`` messages (manifests ship pre-pickled, decoded only on a
+    cache miss) plus ``("stop",)`` sentinels on ``task_q``;
+    ``("ok", job_id, n_batches, star, pair, tri)`` and
+    ``("err", job_id, text)`` on ``result_q``.  Partials accumulate
+    per job and flush when the queue goes idle or the job changes, so
+    result traffic scales with workers, not batches.
+    """
+    from repro.parallel.executor import execute_tasks
+
+    graphs: "OrderedDict[int, _WorkerGraph]" = OrderedDict()
+    partial: Optional[_Partial] = None
+
+    def flush() -> None:
+        nonlocal partial
+        if partial is not None and partial.batches:
+            result_q.put(
+                ("ok", partial.job_id, partial.batches, partial.star, partial.pair, partial.tri)
+            )
+        partial = None
+
+    while True:
+        if partial is not None:
+            try:
+                message = task_q.get(timeout=_FLUSH_IDLE_SECONDS)
+            except queue.Empty:
+                flush()
+                continue
+        else:
+            message = task_q.get()
+        if message[0] == "stop":
+            flush()
+            break
+        (_, job_id, gid, graph_blob, delta_blob,
+         delta, star_pair, triangle, backend, tasks) = message
+        try:
+            entry = graphs.get(gid)
+            if entry is None:
+                entry = _WorkerGraph(graph_blob)
+                graphs[gid] = entry
+                while len(graphs) > graph_cache_limit:
+                    graphs.popitem(last=False)[1].close()
+            else:
+                graphs.move_to_end(gid)
+            if backend == "columnar":
+                entry.install_delta(delta_blob, delta, star_pair)
+            result = execute_tasks(
+                entry.graph, delta, tasks,
+                star_pair=star_pair, triangle=triangle, backend=backend,
+            )
+        except BaseException:
+            if partial is not None and partial.job_id != job_id:
+                flush()
+            partial = None
+            result_q.put(("err", job_id, traceback.format_exc()))
+            continue
+        if partial is not None and partial.job_id != job_id:
+            flush()
+        if partial is None:
+            partial = _Partial(job_id)
+        partial.add(result)
+
+    for entry in graphs.values():
+        entry.close()
+
+
+# ----------------------------------------------------------------------
+# owner-side bookkeeping
+# ----------------------------------------------------------------------
+
+@dataclass
+class _GraphState:
+    """Owner record of one known graph (published or not).
+
+    Keyed by ``id(graph)`` with a weak reference for liveness: object
+    identity is the lookup (never ``TemporalGraph.__eq__``, which is
+    O(m)), the weakref guards against id reuse after collection, and
+    the version stamp guards against sanctioned in-place mutation.
+    Segments are published lazily (``gid``/``handle`` are ``None``
+    until the first worker run needs them) and a graph's plan cache
+    survives republication.
+    """
+
+    ref: "weakref.ref[TemporalGraph]"
+    version: int
+    pinned: bool = False
+    gid: Optional[int] = None
+    handle: Optional[SharedGraph] = None
+    manifest_blob: Optional[bytes] = None
+    has_columnar: bool = False
+    #: (workers, thrd, schedule, split_factor) -> List[WorkBatch]
+    plans: Dict[Tuple, List[WorkBatch]] = field(default_factory=dict)
+    #: (delta, star_pair) -> (SharedArrays, pickled manifest)
+    deltas: "OrderedDict[Tuple[float, bool], Tuple[SharedArrays, bytes]]" = field(
+        default_factory=OrderedDict
+    )
+
+    def release_segments(self) -> None:
+        for bundle, _ in self.deltas.values():
+            bundle.close()
+        self.deltas = OrderedDict()
+        if self.handle is not None:
+            self.handle.close()
+        self.handle = None
+        self.manifest_blob = None
+        self.gid = None
+        self.has_columnar = False
+
+
+def _shutdown(procs, task_q, states: Dict[int, _GraphState]) -> None:
+    """Finalizer body: stop workers, then unlink every published segment."""
+    for _ in procs:
+        try:
+            task_q.put(("stop",))
+        except Exception:  # pragma: no cover - queue already torn down
+            break
+    for proc in procs:
+        proc.join(timeout=5)
+    for proc in procs:
+        if proc.is_alive():  # pragma: no cover - hung worker
+            proc.terminate()
+            proc.join(timeout=1)
+    for state in list(states.values()):
+        state.release_segments()
+    states.clear()
+
+
+class WorkerPool:
+    """A long-lived team of counting workers over shared-memory graphs.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes (fixed for the pool's lifetime).
+    start_method:
+        ``"fork"``/``"spawn"``/``"forkserver"``; default per
+        :func:`repro.parallel.executor.resolve_start_method` (the
+        ``REPRO_START_METHOD`` environment variable, then the platform
+        default).  Results are bit-identical across methods.
+    result_cache:
+        Answer identical repeated requests from the raw-counter LRU
+        (see the module docstring).  ``reuse=`` on
+        :meth:`run_batches` overrides per call.
+
+    Use via :func:`repro.core.api.count_motifs` /
+    :class:`~repro.core.registry.CountRequest` (``pool=``) or hand
+    batches over directly with :meth:`run_batches`.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        start_method: Optional[str] = None,
+        *,
+        result_cache: bool = True,
+    ) -> None:
+        from repro.parallel.executor import resolve_start_method
+
+        if workers < 1:
+            raise ValidationError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.start_method = resolve_start_method(start_method)
+        # Start the resource tracker *before* forking workers: children
+        # forked earlier would each lazily spawn their own tracker on
+        # first shared-memory attach, and those trackers would then
+        # complain about (and try to re-unlink) segments the owner
+        # already cleaned up.  Sharing the parent's tracker makes the
+        # workers' attach registrations collapse into the owner's.
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:  # pragma: no cover - platform-specific tracker quirks
+            pass
+        self._ctx = mp.get_context(self.start_method)
+        self._task_q = self._ctx.Queue()
+        self._result_q = self._ctx.Queue()
+        self._procs = [
+            self._ctx.Process(
+                target=_worker_main,
+                args=(self._task_q, self._result_q),
+                daemon=True,
+                name=f"repro-pool-{i}",
+            )
+            for i in range(workers)
+        ]
+        for proc in self._procs:
+            proc.start()
+        #: id(graph) -> _GraphState (weakref-guarded against id reuse).
+        self._states: Dict[int, _GraphState] = {}
+        #: unpinned published keys, LRU order (evicted beyond the cap).
+        self._auto: "OrderedDict[int, None]" = OrderedDict()
+        self._gid_counter = itertools.count()
+        self._job_counter = itertools.count()
+        self._result_cache_enabled = result_cache
+        self._results: "OrderedDict[Tuple, Tuple]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats: Dict[str, int] = {
+            "jobs": 0,
+            "batches": 0,
+            "cache_hits": 0,
+            "graphs_published": 0,
+            "delta_tables_published": 0,
+        }
+        self._closed = False
+        self._finalizer = weakref.finalize(
+            self, _shutdown, self._procs, self._task_q, self._states
+        )
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Stop the workers and unlink every published segment.
+
+        Idempotent; the pool is unusable afterwards.
+        """
+        self._closed = True
+        self._finalizer()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed or not all(p.is_alive() for p in self._procs)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "closed" if self.closed else "live"
+        return (
+            f"WorkerPool(workers={self.workers}, start_method={self.start_method!r}, "
+            f"graphs={len(self._states)}, {status})"
+        )
+
+    # -- graph bookkeeping ---------------------------------------------
+    def _state(self, graph: TemporalGraph) -> _GraphState:
+        """The (possibly fresh) state record for a graph object.
+
+        Lookup is by object identity — O(1), never the O(m)
+        ``TemporalGraph.__eq__`` — with a weakref guarding against id
+        reuse and the version stamp guarding against sanctioned
+        in-place mutation (either invalidates segments, plans, and the
+        result cache entries hanging off the old generation).
+        """
+        key = id(graph)
+        state = self._states.get(key)
+        if state is not None:
+            if state.ref() is graph and state.version == graph.version:
+                return state
+            state.release_segments()
+            self._auto.pop(key, None)
+            del self._states[key]
+        state = _GraphState(
+            ref=weakref.ref(graph, self._make_reaper(key)),
+            version=graph.version,
+        )
+        self._states[key] = state
+        return state
+
+    def _make_reaper(self, key: int):
+        """Weakref callback: drop a dead graph's state and segments."""
+        pool_ref = weakref.ref(self)
+
+        def reap(_ref) -> None:
+            pool = pool_ref()
+            if pool is None:
+                return
+            state = pool._states.pop(key, None)
+            pool._auto.pop(key, None)
+            if state is not None:
+                try:
+                    state.release_segments()
+                except Exception:  # pragma: no cover - GC-time best effort
+                    pass
+
+        return reap
+
+    def publish(self, graph: TemporalGraph, *, include_columnar: bool = True) -> int:
+        """Pin a graph into the pool's shared memory; return its id.
+
+        Pinned graphs stay resident until :meth:`release` or
+        :meth:`close` — use for the long-lived graph a service keeps
+        answering queries about.  :meth:`run_batches` auto-publishes
+        unpinned graphs through a small LRU, which suits one-off and
+        streaming-slice graphs.
+        """
+        state = self._ensure_published(graph, include_columnar)
+        state.pinned = True
+        self._auto.pop(id(graph), None)
+        assert state.gid is not None
+        return state.gid
+
+    def release(self, graph: TemporalGraph) -> None:
+        """Drop a graph's published segments and cached state."""
+        key = id(graph)
+        state = self._states.pop(key, None)
+        self._auto.pop(key, None)
+        if state is not None:
+            state.release_segments()
+
+    def _ensure_published(
+        self, graph: TemporalGraph, include_columnar: bool
+    ) -> _GraphState:
+        state = self._state(graph)
+        if state.handle is None or (include_columnar and not state.has_columnar):
+            state.release_segments()
+            handle = publish_graph(graph, include_columnar=include_columnar)
+            state.gid = next(self._gid_counter)
+            state.handle = handle
+            state.manifest_blob = pickle.dumps(handle.manifest)
+            state.has_columnar = include_columnar
+            self.stats["graphs_published"] += 1
+        key = id(graph)
+        if not state.pinned:
+            self._auto[key] = None
+            self._auto.move_to_end(key)
+            while len(self._auto) > AUTO_GRAPH_CACHE:
+                evicted, _ = self._auto.popitem(last=False)
+                evicted_state = self._states.get(evicted)
+                if evicted_state is not None:
+                    evicted_state.release_segments()
+        return state
+
+    def _ensure_delta_tables(
+        self, graph: TemporalGraph, state: _GraphState, delta: float, star_pair: bool
+    ) -> bytes:
+        """Publish (once) the per-δ kernel tables for a columnar run."""
+        key = (float(delta), bool(star_pair))
+        entry = state.deltas.get(key)
+        if entry is None:
+            from repro.core.columnar_kernels import export_delta_cache
+
+            bundle = publish_arrays(
+                export_delta_cache(graph.columnar(), delta, star_pair=star_pair),
+                meta={"delta": float(delta), "star_pair": bool(star_pair)},
+            )
+            entry = (bundle, pickle.dumps(bundle.manifest))
+            state.deltas[key] = entry
+            self.stats["delta_tables_published"] += 1
+            while len(state.deltas) > DELTA_TABLE_CACHE:
+                state.deltas.popitem(last=False)[1][0].close()
+        else:
+            state.deltas.move_to_end(key)
+        return entry[1]
+
+    # -- planning -------------------------------------------------------
+    def plan_batches(
+        self,
+        graph: TemporalGraph,
+        workers: Optional[int] = None,
+        thrd: Optional[float] = None,
+        schedule: str = "dynamic",
+        split_factor: int = 4,
+    ) -> List[WorkBatch]:
+        """The HARE work decomposition, memoized per graph.
+
+        Identical inputs return the cached plan, so repeated requests
+        skip the per-call :func:`~repro.parallel.scheduler.build_batches`
+        pass.  Invalidated with the graph's version like everything
+        else; needs no shared memory, so planning never publishes.
+        """
+        from repro.parallel.scheduler import build_batches, partition_static
+
+        workers = self.workers if workers is None else workers
+        state = self._state(graph)
+        key = (workers, thrd, schedule, split_factor)
+        plan = state.plans.get(key)
+        if plan is None:
+            plan = build_batches(graph, workers, thrd=thrd, split_factor=split_factor)
+            if schedule == "static":
+                plan = partition_static(plan, workers)
+            state.plans[key] = plan
+        return plan
+
+    # -- execution ------------------------------------------------------
+    def run_batches(
+        self,
+        graph: TemporalGraph,
+        delta: float,
+        batches: List[WorkBatch],
+        *,
+        star_pair: bool = True,
+        triangle: bool = True,
+        backend: str = "python",
+        reuse: Optional[bool] = None,
+    ) -> Tuple[Optional[StarCounter], Optional[PairCounter], Optional[TriangleCounter]]:
+        """Execute batches on the resident workers; reduce the counters.
+
+        Same contract (and bit-identical results) as
+        :func:`repro.parallel.executor.run_batches`: returns
+        ``(star, pair, tri)`` counters for the requested passes.
+        ``reuse`` overrides the pool-level result cache for this call.
+        """
+        if backend not in ("python", "columnar"):
+            raise ValidationError(
+                f"backend must be 'python' or 'columnar', got {backend!r}"
+            )
+        if self.closed:
+            raise ParallelExecutionError("worker pool is closed")
+        with self._lock:
+            return self._run_batches_locked(
+                graph, delta, batches,
+                star_pair=star_pair, triangle=triangle, backend=backend, reuse=reuse,
+            )
+
+    @staticmethod
+    def _fingerprint_batches(batches: List[WorkBatch]) -> bytes:
+        """Content digest of a batch list's task cover.
+
+        The result cache must key on *what* is being counted: the same
+        graph and δ with a different (e.g. partial) task cover is a
+        different computation.  A collision-resistant digest (not
+        Python's modular ``hash``) keeps "wrong cached counts" out of
+        the failure space entirely; pickling + hashing the task
+        tuples costs a few ms even at 10⁶-edge plan sizes, and also
+        protects against callers mutating a plan list in place.
+        """
+        return hashlib.sha256(
+            pickle.dumps([batch.tasks for batch in batches], protocol=4)
+        ).digest()
+
+    def _run_batches_locked(self, graph, delta, batches, *, star_pair, triangle, backend, reuse):
+        state = self._ensure_published(graph, include_columnar=(backend == "columnar"))
+        use_cache = self._result_cache_enabled if reuse is None else reuse
+        cache_key = (
+            state.gid, float(delta), star_pair, triangle, backend,
+            self._fingerprint_batches(batches) if use_cache else None,
+        )
+        if use_cache:
+            cached = self._results.get(cache_key)
+            if cached is not None:
+                self._results.move_to_end(cache_key)
+                self.stats["cache_hits"] += 1
+                return self._build_counters(cached, star_pair, triangle)
+
+        delta_blob = None
+        if backend == "columnar":
+            delta_blob = self._ensure_delta_tables(graph, state, delta, star_pair)
+
+        star_acc = np.zeros(24, dtype=np.int64) if star_pair else None
+        pair_acc = np.zeros(8, dtype=np.int64) if star_pair else None
+        tri_acc = np.zeros(24, dtype=np.int64) if triangle else None
+
+        job_id = next(self._job_counter)
+        self.stats["jobs"] += 1
+        self.stats["batches"] += len(batches)
+        for batch in batches:
+            self._task_q.put((
+                "run", job_id, state.gid, state.manifest_blob, delta_blob,
+                delta, star_pair, triangle, backend, batch.tasks,
+            ))
+
+        done = 0
+        while done < len(batches):
+            try:
+                message = self._result_q.get(timeout=_POLL_SECONDS)
+            except queue.Empty:
+                dead = [p.name for p in self._procs if not p.is_alive()]
+                if dead:
+                    self._closed = True
+                    raise ParallelExecutionError(
+                        f"worker(s) {dead} died while executing batches"
+                    )
+                continue
+            kind, msg_job = message[0], message[1]
+            if msg_job != job_id:
+                continue  # stale partial from an aborted job
+            if kind == "err":
+                raise ParallelExecutionError(f"HARE pool worker failed:\n{message[2]}")
+            _, _, n_batches, star, pair, tri = message
+            done += n_batches
+            if star_acc is not None and star is not None:
+                star_acc += np.asarray(star, dtype=np.int64)
+            if pair_acc is not None and pair is not None:
+                pair_acc += np.asarray(pair, dtype=np.int64)
+            if tri_acc is not None and tri is not None:
+                tri_acc += np.asarray(tri, dtype=np.int64)
+
+        payload = (
+            star_acc.tolist() if star_acc is not None else None,
+            pair_acc.tolist() if pair_acc is not None else None,
+            tri_acc.tolist() if tri_acc is not None else None,
+        )
+        if use_cache:
+            self._results[cache_key] = payload
+            while len(self._results) > RESULT_CACHE:
+                self._results.popitem(last=False)
+        return self._build_counters(payload, star_pair, triangle)
+
+    @staticmethod
+    def _build_counters(payload, star_pair: bool, triangle: bool):
+        star_data, pair_data, tri_data = payload
+        star = StarCounter(star_data) if star_pair and star_data is not None else (
+            StarCounter() if star_pair else None
+        )
+        pair = PairCounter(pair_data) if star_pair and pair_data is not None else (
+            PairCounter() if star_pair else None
+        )
+        tri = TriangleCounter(tri_data, multiplicity=3) if triangle and tri_data is not None else (
+            TriangleCounter(multiplicity=3) if triangle else None
+        )
+        return star, pair, tri
+
+
+# ----------------------------------------------------------------------
+# process-wide shared pools
+# ----------------------------------------------------------------------
+
+_SHARED_POOLS: Dict[Tuple[str, int], WorkerPool] = {}
+_SHARED_LOCK = threading.Lock()
+
+
+def shared_pool(workers: int, start_method: Optional[str] = None) -> WorkerPool:
+    """A process-wide :class:`WorkerPool` keyed by (method, workers).
+
+    Created on first use and kept for the life of the process (workers
+    are daemons; a finalizer reaps them at exit), so repeated
+    CLI/service-style calls amortize pool startup automatically.  A
+    pool that died (worker crash, explicit close) is transparently
+    replaced.
+    """
+    from repro.parallel.executor import resolve_start_method
+
+    method = resolve_start_method(start_method)
+    key = (method, workers)
+    with _SHARED_LOCK:
+        pool = _SHARED_POOLS.get(key)
+        if pool is None or pool.closed:
+            pool = WorkerPool(workers, start_method=method)
+            _SHARED_POOLS[key] = pool
+        return pool
+
+
+def close_shared_pools() -> None:
+    """Close every process-wide pool (tests and benchmark hygiene)."""
+    with _SHARED_LOCK:
+        for pool in _SHARED_POOLS.values():
+            pool.close()
+        _SHARED_POOLS.clear()

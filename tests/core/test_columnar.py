@@ -116,19 +116,21 @@ class TestKernelEquivalence:
 
 
 class TestBackendAcrossAlgorithms:
-    """Property test: python and columnar backends agree for all seven."""
+    """Backend *plumbing* checks.
+
+    The per-algorithm python-vs-columnar equivalence (and category
+    masking) assertions that used to live here are subsumed by the
+    systematic matrix in ``tests/test_conformance.py``, which also
+    covers fork/spawn/persistent-pool execution.  Only the
+    backend-resolution metadata checks remain.
+    """
 
     @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
-    @pytest.mark.parametrize("seed", [0, 3])
-    def test_backends_identical(self, algorithm, seed):
-        g = random_graph(seed, num_nodes=7, num_edges=30)
-        kwargs = {}
+    def test_backend_metadata_resolution(self, paper_graph, algorithm):
         spec = get_algorithm(algorithm)
-        if not spec.is_exact:
-            kwargs = {"seed": 7, "n_samples": 2}
-        py = count_motifs(g, 6, algorithm=algorithm, backend="python", **kwargs)
-        col = count_motifs(g, 6, algorithm=algorithm, backend="columnar", **kwargs)
-        assert py.same_counts(col), algorithm
+        kwargs = {} if spec.is_exact else {"seed": 7, "n_samples": 2}
+        py = count_motifs(paper_graph, 6, algorithm=algorithm, backend="python", **kwargs)
+        col = count_motifs(paper_graph, 6, algorithm=algorithm, backend="columnar", **kwargs)
         assert py.meta["backend"] == "python"
         # Algorithms without a columnar implementation fall back.
         expected = "columnar" if "columnar" in spec.backends else "python"
@@ -142,14 +144,6 @@ class TestBackendAcrossAlgorithms:
     def test_auto_is_python_for_bt(self, paper_graph):
         result = count_motifs(paper_graph, 10, algorithm="bt")
         assert result.backend == "python"
-
-    def test_categories_masked_identically(self, paper_graph):
-        for categories in ("star", "pair", "triangle", "star_pair"):
-            py = count_motifs(paper_graph, 10, categories=categories, backend="python")
-            col = count_motifs(
-                paper_graph, 10, categories=categories, backend="columnar"
-            )
-            assert py.same_counts(col), categories
 
 
 class TestBackendPlumbing:

@@ -1,7 +1,9 @@
 """Unit tests for the appendable/evictable columnar edge store."""
 
+import hypothesis.strategies as st
 import numpy as np
 import pytest
+from hypothesis import given, settings
 
 from repro.errors import ValidationError
 from repro.graph.stream_store import StreamingEdgeStore
@@ -156,3 +158,147 @@ class TestValidation:
     def test_bad_self_loop_policy(self):
         with pytest.raises(ValidationError):
             StreamingEdgeStore(on_self_loop="ignore")
+
+
+# ----------------------------------------------------------------------
+# property tests: store invariants under arbitrary op sequences
+# ----------------------------------------------------------------------
+
+@st.composite
+def op_sequences(draw):
+    """Random interleavings of appends (tie-heavy) and evictions."""
+    n_ops = draw(st.integers(min_value=1, max_value=40))
+    ops = []
+    for _ in range(n_ops):
+        if draw(st.booleans()) or not ops:
+            u = draw(st.integers(min_value=0, max_value=5))
+            v = draw(st.integers(min_value=0, max_value=5))
+            if u == v:
+                v = (v + 1) % 6
+            t = draw(st.integers(min_value=0, max_value=12))
+            ops.append(("append", u, v, t))
+        else:
+            ops.append(("evict", draw(st.integers(min_value=0, max_value=14))))
+    return ops
+
+
+def replay_reference(ops):
+    """Pure-python model of the store's accept/evict semantics."""
+    accepted = []  # (u, v, t) in arrival order
+    watermark = None
+    for op in ops:
+        if op[0] == "append":
+            _, u, v, t = op
+            if watermark is None or t >= watermark:
+                accepted.append((u, v, t))
+        else:
+            cutoff = op[1]
+            if watermark is None or cutoff > watermark:
+                watermark = cutoff
+    live = [e for e in accepted if watermark is None or e[2] >= watermark]
+    return accepted, live, watermark
+
+
+class TestStoreProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(ops=op_sequences(), max_runs=st.integers(min_value=1, max_value=6))
+    def test_eviction_never_drops_in_window_edges(self, ops, max_runs):
+        """Exactly the in-window suffix survives — nothing more or less."""
+        store = StreamingEdgeStore(max_runs=max_runs)
+        for op in ops:
+            if op[0] == "append":
+                store.append(op[1], op[2], op[3])
+            else:
+                store.evict_before(op[1])
+        _, live, watermark = replay_reference(ops)
+        assert store.live_edges() == live
+        assert store.watermark == watermark
+        assert store.num_live == len(live)
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=op_sequences())
+    def test_lazy_merge_preserves_arrival_order_tie_stamps(self, ops):
+        """Aggressive merging and no merging agree edge-for-edge.
+
+        Arrival order is the tie-break stamp: a batch rebuild of the
+        live set must see the same canonical order whichever run
+        layout the store happens to hold, including after merges.
+        """
+        eager = StreamingEdgeStore(max_runs=1)   # merge on every flush
+        lazy = StreamingEdgeStore(max_runs=64)   # effectively never merge
+        for op in ops:
+            if op[0] == "append":
+                eager.append(op[1], op[2], op[3])
+                lazy.append(op[1], op[2], op[3])
+            else:
+                eager.evict_before(op[1])
+                lazy.evict_before(op[1])
+            # Force different internal layouts at every step.
+            eager.slice_arrays(None, None)
+        assert eager.live_edges() == lazy.live_edges()
+        assert eager.live_graph() == lazy.live_graph()
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=op_sequences())
+    def test_version_stamp_tracks_every_mutation(self, ops):
+        """Accepted appends and real evictions bump the version; slices
+        taken after any mutation reflect the post-mutation state."""
+        store = StreamingEdgeStore()
+        accepted_model = []
+        watermark = None
+        for op in ops:
+            before = store.version
+            if op[0] == "append":
+                _, u, v, t = op
+                accepted = store.append(u, v, t)
+                timely = watermark is None or t >= watermark
+                assert accepted == timely
+                if accepted:
+                    accepted_model.append((u, v, t))
+                    assert store.version == before + 1
+                else:
+                    assert store.version == before
+            else:
+                cutoff = op[1]
+                evicted = store.evict_before(cutoff)
+                if watermark is None or cutoff > watermark:
+                    watermark = cutoff
+                survivors = [e for e in accepted_model if e[2] >= watermark]
+                assert evicted == len(accepted_model) - len(survivors)
+                accepted_model = survivors
+                if evicted:
+                    assert store.version == before + 1
+                else:
+                    assert store.version == before
+            # The slice never serves stale state.
+            assert store.live_edges() == [
+                e for e in accepted_model
+                if watermark is None or e[2] >= watermark
+            ]
+
+    @settings(max_examples=40, deadline=None)
+    @given(ops=op_sequences())
+    def test_slice_graph_columnar_never_stale(self, ops):
+        """Columnar views derived from slices reflect every mutation.
+
+        ``slice_graph`` returns a fresh ``TemporalGraph`` whose
+        ``columnar()`` is stamped against that graph's version — so a
+        view cached across store mutations can always be detected as
+        belonging to an older graph object, never silently reused.
+        """
+        store = StreamingEdgeStore()
+        previous = None
+        for op in ops:
+            if op[0] == "append":
+                store.append(op[1], op[2], op[3])
+            else:
+                store.evict_before(op[1])
+            graph = store.live_graph()
+            col = graph.columnar()
+            assert col.num_edges == store.num_live
+            assert np.array_equal(np.sort(col.t), col.t)
+            if previous is not None and store.num_live != previous.num_edges:
+                # The old columnar view belongs to the old graph; the
+                # new slice never reuses it.
+                assert previous.columnar() is not col
+            previous = graph

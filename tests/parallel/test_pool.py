@@ -1,0 +1,335 @@
+"""Persistent shared-memory worker pool: exactness, reuse, lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import count_motifs, count_motifs_sweep
+from repro.errors import ParallelExecutionError, ValidationError
+from repro.graph.generators import powerlaw_temporal_graph
+from repro.parallel.executor import START_METHOD_ENV, resolve_start_method, run_batches
+from repro.parallel.hare import hare_count
+from repro.parallel.pool import (
+    WorkerPool,
+    close_shared_pools,
+    shared_pool,
+)
+from repro.parallel.scheduler import build_batches
+from tests.conftest import random_graph
+
+
+@pytest.fixture(scope="module")
+def fork_pool():
+    with WorkerPool(2, "fork", result_cache=False) as pool:
+        yield pool
+
+
+class TestExactness:
+    @pytest.mark.parametrize("backend", ["python", "columnar"])
+    def test_pool_equals_serial(self, paper_graph, fork_pool, backend):
+        serial = count_motifs(paper_graph, 10)
+        result = count_motifs(
+            paper_graph, 10, workers=2, pool=fork_pool, backend=backend
+        )
+        assert result.same_counts(serial)
+        assert result.meta["runtime"] == "pool"
+
+    @pytest.mark.parametrize("seed", [1, 4, 9])
+    def test_random_graphs(self, fork_pool, seed):
+        g = random_graph(seed, num_nodes=8, num_edges=45)
+        serial = count_motifs(g, 6)
+        for backend in ("python", "columnar"):
+            result = count_motifs(g, 6, workers=2, pool=fork_pool, backend=backend)
+            assert result.same_counts(serial), backend
+
+    def test_categories(self, paper_graph, fork_pool):
+        for categories in ("star", "pair", "triangle", "star_pair"):
+            serial = count_motifs(paper_graph, 10, categories=categories)
+            result = count_motifs(
+                paper_graph, 10, categories=categories, workers=2, pool=fork_pool
+            )
+            assert result.same_counts(serial), categories
+
+    def test_static_schedule(self, paper_graph, fork_pool):
+        serial = count_motifs(paper_graph, 10)
+        result = hare_count(paper_graph, 10, workers=2, schedule="static", pool=fork_pool)
+        assert result == serial
+
+    def test_empty_graph(self, fork_pool):
+        from repro.graph.temporal_graph import TemporalGraph
+
+        assert hare_count(TemporalGraph([]), 10, workers=2, pool=fork_pool).total() == 0
+
+    def test_spawn_pool_exact(self, paper_graph):
+        serial = count_motifs(paper_graph, 10)
+        with WorkerPool(2, "spawn") as pool:
+            result = count_motifs(paper_graph, 10, workers=2, pool=pool)
+            assert result.same_counts(serial)
+            # Resident workers answer the repeat too (cache or not).
+            repeat = count_motifs(paper_graph, 10, workers=2, pool=pool)
+            assert repeat.same_counts(serial)
+
+
+class TestReuse:
+    def test_graph_published_once_across_requests(self, paper_graph):
+        with WorkerPool(2, "fork", result_cache=False) as pool:
+            for delta in (4, 7, 10):
+                count_motifs(paper_graph, delta, workers=2, pool=pool)
+            assert pool.stats["graphs_published"] == 1
+            assert pool.stats["jobs"] == 3
+
+    def test_result_cache_hits_identical_requests(self, paper_graph):
+        with WorkerPool(2, "fork") as pool:
+            first = count_motifs(paper_graph, 10, workers=2, pool=pool)
+            again = count_motifs(paper_graph, 10, workers=2, pool=pool)
+            assert pool.stats["cache_hits"] == 1
+            assert pool.stats["jobs"] == 1
+            assert again.same_counts(first)
+
+    def test_cache_distinguishes_different_batch_covers(self, paper_graph):
+        """A partial task cover must never be served full-cover counts."""
+        with WorkerPool(2, "fork") as pool:
+            plan = pool.plan_batches(paper_graph, 2)
+            full, _, _ = pool.run_batches(paper_graph, 11.0, plan, backend="python")
+            subset, _, _ = pool.run_batches(
+                paper_graph, 11.0, plan[:1], backend="python"
+            )
+            honest, _, _ = pool.run_batches(
+                paper_graph, 11.0, plan[:1], backend="python", reuse=False
+            )
+            assert subset == honest
+            assert subset != full
+            # ... and the subset result did not poison the full key.
+            again, _, _ = pool.run_batches(paper_graph, 11.0, plan, backend="python")
+            assert again == full
+
+    def test_reuse_false_forces_execution(self, paper_graph):
+        with WorkerPool(2, "fork") as pool:
+            batches = pool.plan_batches(paper_graph, 2)
+            pool.run_batches(paper_graph, 10, batches, backend="python")
+            pool.run_batches(paper_graph, 10, batches, backend="python", reuse=False)
+            assert pool.stats["cache_hits"] == 0
+            assert pool.stats["jobs"] == 2
+
+    def test_version_bump_invalidates_cache_and_republishes(self, paper_graph):
+        with WorkerPool(2, "fork") as pool:
+            before = count_motifs(paper_graph, 10, workers=2, pool=pool)
+            # Sanctioned in-place mutation: shift every timestamp far
+            # apart so no window survives, then invalidate.
+            paper_graph._t[:] = np.arange(paper_graph.num_edges) * 1000
+            paper_graph.invalidate_caches()
+            after = count_motifs(paper_graph, 10, workers=2, pool=pool)
+            assert pool.stats["graphs_published"] == 2
+            assert not after.same_counts(before)
+            assert after.same_counts(count_motifs(paper_graph, 10))
+
+    def test_plan_batches_memoized(self, paper_graph):
+        with WorkerPool(2, "fork") as pool:
+            plan_a = pool.plan_batches(paper_graph, 2, thrd=5)
+            plan_b = pool.plan_batches(paper_graph, 2, thrd=5)
+            assert plan_a is plan_b
+            plan_c = pool.plan_batches(paper_graph, 2, thrd=None)
+            assert plan_c is not plan_a
+
+    def test_pinned_publish_survives_auto_churn(self, paper_graph):
+        with WorkerPool(2, "fork", result_cache=False) as pool:
+            pool.publish(paper_graph)
+            # Churn the auto LRU with throwaway graphs (kept alive so
+            # garbage collection is not what evicts them).
+            churn = [random_graph(seed, num_nodes=6, num_edges=20) for seed in range(6)]
+            for g in churn:
+                count_motifs(g, 5, workers=2, pool=pool)
+            state = pool._states[id(paper_graph)]
+            assert state.pinned and state.handle is not None
+            assert pool.stats["graphs_published"] == 7
+            # The pinned graph is still served without republication.
+            count_motifs(paper_graph, 5, workers=2, pool=pool)
+            assert pool.stats["graphs_published"] == 7
+            pool.release(paper_graph)
+            assert id(paper_graph) not in pool._states
+
+    def test_dead_graph_state_is_reaped(self):
+        import gc
+
+        with WorkerPool(2, "fork", result_cache=False) as pool:
+            g = random_graph(2, num_nodes=6, num_edges=20)
+            count_motifs(g, 5, workers=2, pool=pool)
+            key = id(g)
+            assert key in pool._states
+            del g
+            gc.collect()
+            assert key not in pool._states
+
+
+class TestSweepIntegration:
+    def test_sweep_without_pool_runtime_algorithms_creates_no_pool(
+        self, paper_graph, monkeypatch
+    ):
+        """EX/BTS run their own fork farming; a sweep over only those
+        must not pay WorkerPool startup for a pool nothing uses."""
+        import repro.parallel.pool as pool_module
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("WorkerPool created for a pool-less sweep")
+
+        monkeypatch.setattr(pool_module, "WorkerPool", forbidden)
+        sweep = count_motifs_sweep(
+            paper_graph, deltas=(5,), algorithms=("ex", "bts"), workers=2, seed=3
+        )
+        assert len(sweep) == 2
+
+    def test_sweep_uses_one_pool(self, paper_graph):
+        sweep = count_motifs_sweep(
+            paper_graph, deltas=(5, 10), algorithms=("fast",), workers=2
+        )
+        serial = count_motifs_sweep(paper_graph, deltas=(5, 10), algorithms=("fast",))
+        for got, want in zip(sweep, serial):
+            assert got.same_counts(want)
+
+    def test_sweep_accepts_external_pool(self, paper_graph, fork_pool):
+        sweep = count_motifs_sweep(
+            paper_graph, deltas=(5, 10), algorithms=("fast",), workers=2,
+            pool=fork_pool,
+        )
+        assert len(sweep) == 2
+        assert not fork_pool.closed
+
+
+class TestLifecycle:
+    def test_closed_pool_rejects_work(self, paper_graph):
+        pool = WorkerPool(2, "fork")
+        pool.close()
+        batches = build_batches(paper_graph, 2)
+        with pytest.raises(ParallelExecutionError, match="closed"):
+            pool.run_batches(paper_graph, 10, batches)
+
+    def test_close_idempotent(self):
+        pool = WorkerPool(1, "fork")
+        pool.close()
+        pool.close()
+        assert pool.closed
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValidationError):
+            WorkerPool(0)
+
+    def test_invalid_backend(self, paper_graph, fork_pool):
+        with pytest.raises(ValidationError, match="backend"):
+            fork_pool.run_batches(paper_graph, 10, [], backend="gpu")
+
+    def test_invalid_start_method(self):
+        with pytest.raises(ValidationError, match="start method"):
+            WorkerPool(1, "osthread")
+
+    def test_shared_pool_is_cached_and_replaced_after_close(self):
+        try:
+            a = shared_pool(2, "fork")
+            b = shared_pool(2, "fork")
+            assert a is b
+            a.close()
+            c = shared_pool(2, "fork")
+            assert c is not a
+            assert not c.closed
+        finally:
+            close_shared_pools()
+
+
+class TestRouting:
+    def test_env_spawn_routes_through_shared_pool(self, paper_graph, monkeypatch):
+        monkeypatch.setenv(START_METHOD_ENV, "spawn")
+        try:
+            serial = count_motifs(paper_graph, 10)
+            result = count_motifs(paper_graph, 10, workers=2)
+            assert result.same_counts(serial)
+            # Provenance reflects the actual routing, not the absence
+            # of an explicit pool argument.
+            assert result.meta["runtime"] == "shared-pool"
+            pool = shared_pool(2, "spawn")
+            assert pool.stats["jobs"] >= 1
+        finally:
+            close_shared_pools()
+
+    def test_runtime_label_matches_routing(self, paper_graph, fork_pool):
+        assert count_motifs(paper_graph, 10).meta.get("runtime") is None  # serial fast
+        assert (
+            count_motifs(paper_graph, 10, workers=2, start_method="fork").meta["runtime"]
+            == "fork-per-call"
+        )
+        assert (
+            count_motifs(paper_graph, 10, workers=2, pool=fork_pool).meta["runtime"]
+            == "pool"
+        )
+
+    def test_explicit_start_method_argument(self, paper_graph):
+        try:
+            serial = count_motifs(paper_graph, 10)
+            result = count_motifs(paper_graph, 10, workers=2, start_method="spawn")
+            assert result.same_counts(serial)
+        finally:
+            close_shared_pools()
+
+    def test_resolve_start_method_precedence(self, monkeypatch):
+        assert resolve_start_method("fork") == "fork"
+        monkeypatch.setenv(START_METHOD_ENV, "spawn")
+        assert resolve_start_method() == "spawn"
+        assert resolve_start_method("fork") == "fork"
+        monkeypatch.delenv(START_METHOD_ENV)
+        assert resolve_start_method() in ("fork", "spawn")
+        with pytest.raises(ValidationError, match="not available"):
+            resolve_start_method("no-such-method")
+
+    def test_run_batches_pool_parameter(self, paper_graph, fork_pool):
+        batches = build_batches(paper_graph, 2)
+        star, pair, tri = run_batches(
+            paper_graph, 10, batches, workers=2, pool=fork_pool, backend="columnar"
+        )
+        star_s, pair_s, tri_s = run_batches(paper_graph, 10, batches, workers=1)
+        assert star == star_s and pair == pair_s and tri == tri_s
+
+    def test_single_worker_pool_still_routes_through_pool(self, paper_graph):
+        """workers=1 with an explicit pool exercises the resident
+        runtime (not a silent in-process fallback) — the scaling
+        curve's 1-worker point depends on this."""
+        serial = count_motifs(paper_graph, 10)
+        with WorkerPool(1, "fork", result_cache=False) as pool:
+            result = hare_count(paper_graph, 10, workers=1, pool=pool)
+            assert result == serial
+            assert pool.stats["jobs"] == 1
+
+    def test_ex_and_bts_honor_non_fork_start_method(self, paper_graph):
+        """Fork-only farming must fall back to serial (bit-identically)
+        when the caller asks for a non-fork start method, not silently
+        fork anyway."""
+        for algorithm in ("ex", "bts"):
+            kwargs = {} if algorithm == "ex" else {"seed": 5, "n_samples": 1}
+            serial = count_motifs(paper_graph, 10, algorithm=algorithm, **kwargs)
+            spawned = count_motifs(
+                paper_graph, 10, algorithm=algorithm, workers=2,
+                start_method="spawn", **kwargs,
+            )
+            assert np.array_equal(serial.grid, spawned.grid), algorithm
+
+
+class TestStreamingIntegration:
+    def test_engine_owns_and_closes_pool(self):
+        from repro.core.registry import StreamRequest, open_stream
+
+        g = powerlaw_temporal_graph(60, 900, seed=3)
+        edges = list(g.internal_edges())
+        request = StreamRequest(delta=2000.0, workers=2, parallel_min_edges=100)
+        with open_stream(request) as engine:
+            engine.ingest(edges)
+            parallel_counts = engine.counts()
+            assert engine._pool is not None
+            pool = engine._pool
+        assert pool.closed
+        assert engine._pool is None
+        serial = count_motifs(g, 2000.0)
+        assert parallel_counts.same_counts(serial)
+
+    def test_engine_without_parallel_never_creates_pool(self, paper_graph):
+        from repro.core.registry import StreamRequest, open_stream
+
+        engine = open_stream(StreamRequest(delta=5.0))
+        engine.ingest(list(paper_graph.internal_edges()))
+        assert engine._pool is None
+        engine.close()

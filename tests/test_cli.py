@@ -240,6 +240,68 @@ class TestStream:
         assert lines[-1]["edges_seen"] == 3
         assert lines[-1]["total"] == 1
 
+    def test_stream_stdin_malformed_line_reports_position(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO("0 1 0\n1 0 2\nbogus line here\n0 1 4\n"),
+        )
+        assert main(
+            ["stream", "--input", "-", "--delta", "10", "--checkpoint-every", "2"]
+        ) == 2
+        captured = capsys.readouterr()
+        # Checkpoints emitted before the bad line still came through...
+        emitted = [json.loads(line) for line in captured.out.splitlines()]
+        assert emitted and emitted[0]["edges_seen"] == 2
+        # ... and the error names the exact stdin line.
+        assert "error:" in captured.err
+        assert "<stdin>:3" in captured.err
+
+    def test_stream_stdin_short_line_rejected(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("0 1\n"))
+        assert main(["stream", "--input", "-", "--delta", "10"]) == 2
+        err = capsys.readouterr().err
+        assert "<stdin>:1" in err and "expected 'u v t'" in err
+
+    @pytest.mark.parametrize("bad_t", ["nan", "inf", "-inf"])
+    def test_stream_stdin_non_finite_timestamp_rejected(self, capsys, monkeypatch, bad_t):
+        import io
+
+        # float("nan")/float("inf") parse as numbers but poison window
+        # arithmetic and the canonical sort; the parser must refuse
+        # them instead of silently corrupting the stream.
+        monkeypatch.setattr("sys.stdin", io.StringIO(f"0 1 0\n0 1 {bad_t}\n0 1 4\n"))
+        assert main(["stream", "--input", "-", "--delta", "10"]) == 2
+        err = capsys.readouterr().err
+        assert "<stdin>:2" in err and "finite" in err
+
+    def test_count_rejects_non_finite_timestamp_file(self, tmp_path, capsys):
+        bad = tmp_path / "nan.txt"
+        bad.write_text("0 1 0\n1 0 nan\n")
+        assert main(["count", "--input", str(bad), "--delta", "5"]) == 2
+        assert "finite" in capsys.readouterr().err
+
+    def test_stream_stdin_window_and_late_drops(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO("0 1 0\n1 0 10\n0 1 20\n1 0 5\n0 1 30\n"),
+        )
+        assert main(
+            ["stream", "--input", "-", "--delta", "4", "--window", "12",
+             "--checkpoint-every", "1"]
+        ) == 0
+        lines = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        final = lines[-1]
+        # The t=5 edge arrived below the watermark and was dropped late.
+        assert final["edges_dropped_late"] == 1
+        assert final["edges_seen"] + final["edges_dropped_late"] == 5
+        assert final["edges_seen"] == final["edges_live"] + final["edges_expired"]
+
     def test_stream_matches_batch_count(self, edge_file, capsys):
         assert main(["count", "--input", edge_file, "--delta", "7", "--json"]) == 0
         batch = json.loads(capsys.readouterr().out)
