@@ -4,12 +4,14 @@ HARE vs time-slab-parallel EX, HARE-Pair vs BTS-Pair.  The container
 exposes two physical cores (measured ~1.4x two-process efficiency, see
 EXPERIMENTS.md), so the asserted shape is relative: HARE at the core
 count is no slower than serial HARE, while EX's slab overhead makes
-oversubscription strictly worse for it.
+oversubscription strictly worse for it.  ``--backend columnar`` (see
+conftest) reruns the scaling curves on the vectorized kernels —
+including the PR 5 sampling kernels for BTS-Pair.
 """
 
 import pytest
 
-from conftest import DELTA, SCALE, bench_graph, once, write_report
+from conftest import DELTA, SCALE, bench_graph, once, resolve_backend, write_report
 from repro.baselines.exact_ex import ex_count
 from repro.baselines.sampling_bts import bts_count_pairs
 from repro.bench.experiments import run_fig11
@@ -21,32 +23,50 @@ DATASETS = ("superuser", "wikitalk")
 
 @pytest.mark.parametrize("workers", WORKERS)
 @pytest.mark.parametrize("dataset", DATASETS)
-def test_fig11_hare(benchmark, dataset, workers):
-    graph = bench_graph(dataset)
-    once(benchmark, lambda: hare_count(graph, DELTA, workers=workers))
-
-
-@pytest.mark.parametrize("workers", WORKERS)
-@pytest.mark.parametrize("dataset", DATASETS)
-def test_fig11_ex_parallel(benchmark, dataset, workers):
-    graph = bench_graph(dataset)
-    once(benchmark, lambda: ex_count(graph, DELTA, workers=workers))
-
-
-@pytest.mark.parametrize("workers", WORKERS)
-@pytest.mark.parametrize("dataset", DATASETS)
-def test_fig11_hare_pair(benchmark, dataset, workers):
-    graph = bench_graph(dataset)
-    once(benchmark, lambda: hare_star_pair(graph, DELTA, workers=workers))
-
-
-@pytest.mark.parametrize("workers", WORKERS)
-@pytest.mark.parametrize("dataset", DATASETS)
-def test_fig11_bts_pair(benchmark, dataset, workers):
+def test_fig11_hare(benchmark, dataset, workers, backend):
     graph = bench_graph(dataset)
     once(
         benchmark,
-        lambda: bts_count_pairs(graph, DELTA, q=0.3, exact_when_full=False, workers=workers),
+        lambda: hare_count(
+            graph, DELTA, workers=workers, backend=resolve_backend(backend)
+        ),
+    )
+
+
+@pytest.mark.parametrize("workers", WORKERS)
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig11_ex_parallel(benchmark, dataset, workers, backend):
+    graph = bench_graph(dataset)
+    once(
+        benchmark,
+        lambda: ex_count(
+            graph, DELTA, workers=workers, backend=resolve_backend(backend)
+        ),
+    )
+
+
+@pytest.mark.parametrize("workers", WORKERS)
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig11_hare_pair(benchmark, dataset, workers, backend):
+    graph = bench_graph(dataset)
+    once(
+        benchmark,
+        lambda: hare_star_pair(
+            graph, DELTA, workers=workers, backend=resolve_backend(backend)
+        ),
+    )
+
+
+@pytest.mark.parametrize("workers", WORKERS)
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig11_bts_pair(benchmark, dataset, workers, backend):
+    graph = bench_graph(dataset)
+    once(
+        benchmark,
+        lambda: bts_count_pairs(
+            graph, DELTA, q=0.3, exact_when_full=False, workers=workers,
+            backend=resolve_backend(backend),
+        ),
     )
 
 

@@ -25,6 +25,37 @@ DELTA = 600
 REPORT_DIR = pathlib.Path(__file__).parent / "reports"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--backend",
+        choices=("auto", "python", "columnar"),
+        default="auto",
+        help="execution backend for the paper-figure benchmarks "
+             "(fig10/fig11/table3): auto resolves per algorithm, "
+             "python forces the interpreted loops, columnar the "
+             "vectorized kernels — counts/estimates are identical "
+             "either way, only the timings move",
+    )
+
+
+@pytest.fixture(scope="session")
+def backend(request):
+    """The --backend choice, threaded into every paper-figure run."""
+    return request.config.getoption("--backend")
+
+
+def resolve_backend(backend: str, algorithm_default: str = "python") -> str:
+    """Concrete backend for direct baseline calls (no registry resolve).
+
+    The paper-figure benchmarks call baseline functions directly
+    (``ex_count``, ``bts_count_pairs``, ...), whose ``backend=``
+    parameter has no ``"auto"``; map it to each baseline's historical
+    default so ``--backend`` omitted keeps timing exactly what the
+    committed baselines timed.
+    """
+    return algorithm_default if backend == "auto" else backend
+
+
 def bench_graph(name: str):
     """Load a dataset twin at the benchmark scale, fully indexed."""
     graph = load_dataset(name, SCALE)

@@ -461,6 +461,7 @@ def ex_count(
     categories: str = "all",
     workers: int = 1,
     start_method: "Optional[str]" = None,
+    backend: str = "python",
 ) -> MotifCounts:
     """Count motifs with the EX baseline.
 
@@ -470,11 +471,36 @@ def ex_count(
     start method is ``fork`` (explicit ``start_method``, then the
     ``REPRO_START_METHOD`` env var, then the platform default);
     anything else runs serially — identical counts either way.
+
+    ``backend="columnar"`` counts by full vectorized enumeration over
+    the columnar store
+    (:func:`repro.core.sampling_kernels.ex_columnar_grid`) — identical
+    counts, Θ(instances) cost, serial.  It is explicit opt-in: the
+    window-counter machinery below stays the default (and the
+    ``"auto"`` resolution), because it is *sublinear* in instances on
+    dense timelines.
     """
     if delta < 0:
         raise ValidationError(f"delta must be non-negative, got {delta}")
     if workers < 1:
         raise ValidationError(f"workers must be >= 1, got {workers}")
+    if backend not in ("python", "columnar"):
+        raise ValidationError(
+            f"backend must be 'python' or 'columnar', got {backend!r}"
+        )
+    if backend == "columnar":
+        from repro.core.sampling_kernels import ex_columnar_grid
+
+        result = MotifCounts(
+            ex_columnar_grid(graph, delta, categories), algorithm="ex", delta=delta
+        )
+        # The enumeration kernel has no slab decomposition, so a
+        # workers>1 request is answered serially — and says so in the
+        # result's provenance instead of implying parallel execution.
+        result.meta["runtime"] = "serial"
+        if workers > 1:
+            result.meta["workers_ignored"] = workers
+        return result
     graph.ensure_pair_index()
     if workers == 1 or graph.num_edges == 0:
         grid = _ex_partial(graph, delta, categories, _FULL_SLAB)

@@ -19,28 +19,55 @@ over-weighted.
 Blocks are matched *in place* on the full graph (first-edge index
 range + timestamp cap) rather than on materialised subgraphs, and are
 independent — which is also the parallel decomposition: ``workers > 1``
-farms sampled blocks out to a fork pool, reproducing the BTS-Pair
-curves of the paper's Fig. 11.
+farms sampled blocks out to workers, reproducing the BTS-Pair curves
+of the paper's Fig. 11.
 
 ``q = 1`` keeps every block but the estimate still varies with the
 offset; :func:`bts_count` therefore short-circuits ``q >= 1 and
 exact_when_full`` to a plain exact BT run, matching how the original
 is used as a sanity configuration.
+
+Backends and runtimes — same bits everywhere
+--------------------------------------------
+
+Block sampling (offset, coin flips, edge ranges) is always the
+vectorized draw below, so every backend consumes the same RNG stream.
+Each kept block's HT-weighted grid is then evaluated by:
+
+* ``backend="python"`` — per-motif :func:`match_instances` generator
+  walks (one BT pass per selected motif);
+* ``backend="columnar"`` — one vectorized enumeration pass over the
+  columnar CSR layouts
+  (:func:`repro.core.sampling_kernels.bts_columnar_block_grids`),
+  covering all selected motifs at once; pair-only selections stay on
+  the anchor's own pair timeline.
+
+Both reduce each (block, motif) instance group through the canonical
+:func:`~repro.core.sampling_kernels.ht_weight_sum` (sorted spans), and
+per-block grids always merge in sampling order
+(:func:`_reduce_block_grids`), so the estimate is bit-identical across
+backends, worker counts, and runtimes.  ``workers > 1`` farms block
+chunks to a fork pool when the resolved start method is ``fork``, and
+through a process-wide shared-memory
+:class:`~repro.parallel.pool.WorkerPool` otherwise; an explicit
+``pool=`` always wins and reuses its published zero-copy graph (and,
+for the columnar backend, the shared per-δ edge-window table).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.baselines.backtracking import bt_count, match_instances
 from repro.core.counters import MotifCounts
-from repro.core.motifs import ALL_MOTIFS, Motif, PAIR_MOTIFS
+from repro.core.motifs import ALL_MOTIFS, Motif, PAIR_MOTIFS, motif_cell
+from repro.core.sampling_kernels import bts_columnar_block_grids, ht_weight_sum
 from repro.errors import ValidationError
 from repro.graph.temporal_graph import TemporalGraph
 
-#: A sampled block: (first-edge index lo, hi, block end time, weight q).
+#: A sampled block: (first-edge index lo, hi, block end time).
 _Block = Tuple[int, int, float]
 
 _WORKER_GRAPH: Optional[TemporalGraph] = None
@@ -55,21 +82,19 @@ def _block_grid(
     W: float,
     q: float,
 ) -> np.ndarray:
-    """HT-weighted counts of one sampled block."""
+    """HT-weighted counts of one sampled block (python backend)."""
     t = graph.edge_lists()[2]
     grid = np.zeros((6, 6), dtype=np.float64)
-    # Instance weight: W / (q * (W - span)) = 1 / ((W - span) * q / W).
-    q_over_w = q / W
     lo, hi, b_hi = block
     for motif in motifs:
-        acc = 0.0
-        for matched in match_instances(
-            graph, delta, motif.canonical, first_range=(lo, hi), t_cap=b_hi
-        ):
-            span = t[matched[-1]] - t[matched[0]]
-            acc += 1.0 / ((W - span) * q_over_w)
-        if acc:
-            grid[motif.row - 1, motif.col - 1] += acc
+        spans = [
+            t[matched[-1]] - t[matched[0]]
+            for matched in match_instances(
+                graph, delta, motif.canonical, first_range=(lo, hi), t_cap=b_hi
+            )
+        ]
+        if spans:
+            grid[motif.row - 1, motif.col - 1] += ht_weight_sum(spans, W, q)
     return grid
 
 
@@ -87,13 +112,59 @@ def _reduce_block_grids(indexed_grids: List[Tuple[int, np.ndarray]]) -> np.ndarr
     return grid
 
 
+def _chunk_grids(
+    graph: TemporalGraph,
+    delta: float,
+    args: Tuple,
+    chunk: Sequence[Tuple[int, _Block]],
+) -> List[Tuple[int, np.ndarray]]:
+    """Per-block grids of one chunk, tagged with their sampling index.
+
+    The single evaluation point shared by the serial path, forked
+    workers, and the shared-memory pool: each block's grid is a pure
+    function of that block alone, so results never depend on the
+    chunking.
+    """
+    W, q, motifs, backend = args
+    blocks = [block for _, block in chunk]
+    if backend == "columnar":
+        grids = bts_columnar_block_grids(
+            graph, delta, blocks, W, q, [motif_cell(m) for m in motifs]
+        )
+    else:
+        grids = [_block_grid(graph, delta, motifs, block, W, q) for block in blocks]
+    return [(index, grid) for (index, _), grid in zip(chunk, grids)]
+
+
+def pool_map_block_grids(
+    graph: TemporalGraph, delta: float, args: Tuple, chunk
+) -> List[Tuple[int, List[List[float]]]]:
+    """:class:`~repro.parallel.pool.WorkerPool` map function (``"bts_blocks"``).
+
+    Runs :func:`_chunk_grids` against the worker's attached zero-copy
+    graph; grids ship back as nested lists (bit-exact float64
+    round-trip) tagged with their sampling index for the canonical
+    owner-side reduction.
+    """
+    return [
+        (index, grid.tolist())
+        for index, grid in _chunk_grids(graph, delta, args, chunk)
+    ]
+
+
 def _pool_worker(chunk: List[Tuple[int, _Block]]) -> List[Tuple[int, np.ndarray]]:
     assert _WORKER_GRAPH is not None
-    delta, motifs, W, q = _WORKER_ARGS
-    return [
-        (index, _block_grid(_WORKER_GRAPH, delta, motifs, block, W, q))
-        for index, block in chunk
-    ]
+    delta, args = _WORKER_ARGS
+    return _chunk_grids(_WORKER_GRAPH, delta, args, chunk)
+
+
+def _split_chunks(
+    indexed: List[Tuple[int, _Block]], workers: int
+) -> List[List[Tuple[int, _Block]]]:
+    """Strided block chunks: IPC per chunk, order-independent results."""
+    n = max(1, workers) * 4
+    chunks = [indexed[k::n] for k in range(n)]
+    return [chunk for chunk in chunks if chunk]
 
 
 def bts_count(
@@ -107,6 +178,8 @@ def bts_count(
     exact_when_full: bool = True,
     workers: int = 1,
     start_method: Optional[str] = None,
+    backend: str = "python",
+    pool: Optional[object] = None,
 ) -> MotifCounts:
     """Estimate motif counts by interval sampling.
 
@@ -125,14 +198,27 @@ def bts_count(
     exact_when_full:
         With ``q >= 1``, fall back to the exact BT run.
     workers:
-        Number of processes to spread sampled blocks over.  Block
-        farming shares the graph via fork copy-on-write, so it only
-        engages when the resolved start method is ``fork``; other
-        methods run serially.  The estimate is bit-identical either
-        way (per-block grids reduce in canonical order).
+        Number of processes to spread sampled blocks over: a fork pool
+        under the ``fork`` start method, the process-wide shared-memory
+        :func:`~repro.parallel.pool.shared_pool` otherwise.  The
+        estimate is bit-identical in every case (per-block grids reduce
+        in canonical order).
     start_method:
         Explicit start method; ``None`` resolves via
         ``REPRO_START_METHOD``, then the platform default.
+    backend:
+        ``"python"`` (per-motif BT generator passes per block) or
+        ``"columnar"`` (one vectorized enumeration pass per block
+        batch).  Same draws, same canonical reductions — same bits.
+        Note the columnar pass always enumerates every candidate
+        triple (pair-only selections excepted, which stay on the pair
+        timeline): for a small non-pair motif subset the python
+        backend's per-pattern matching can be cheaper.
+    pool:
+        A persistent :class:`~repro.parallel.pool.WorkerPool` to farm
+        block chunks to (wins over ``workers``/``start_method``); its
+        workers run either backend against the published zero-copy
+        graph.
     """
     if not 0 < q <= 1:
         raise ValidationError(f"q must be in (0, 1], got {q}")
@@ -142,6 +228,10 @@ def bts_count(
         raise ValidationError(f"delta must be non-negative, got {delta}")
     if workers < 1:
         raise ValidationError(f"workers must be >= 1, got {workers}")
+    if backend not in ("python", "columnar"):
+        raise ValidationError(
+            f"backend must be 'python' or 'columnar', got {backend!r}"
+        )
     selected: List[Motif] = list(ALL_MOTIFS if motifs is None else motifs)
     if q >= 1 and exact_when_full:
         result = bt_count(graph, delta, selected)
@@ -171,54 +261,83 @@ def bts_count(
         for lo, hi, b_lo in zip(los[mask], his[mask], b_los[mask])
     ]
 
+    # The caller's motif objects travel to the workers verbatim (the
+    # columnar kernel derives its cell selection from them), so chunk
+    # results always reflect exactly the patterns requested.
+    args = (W, q, tuple(selected), backend)
     indexed = list(enumerate(blocks))
-    if workers == 1 or len(blocks) <= 1:
-        grids = [
-            (index, _block_grid(graph, delta, selected, block, W, q))
-            for index, block in indexed
-        ]
-        grid += _reduce_block_grids(grids)
+    if pool is not None and indexed:
+        grid += _run_on_pool(pool, graph, delta, args, indexed, workers, backend)
+    elif workers == 1 or len(blocks) <= 1:
+        grid += _reduce_block_grids(_chunk_grids(graph, delta, args, indexed))
     else:
         import multiprocessing as mp
 
         from repro.parallel.executor import resolve_start_method
 
         global _WORKER_GRAPH, _WORKER_ARGS
-        # An explicitly requested-but-unavailable method raises,
-        # exactly like the HARE path — never silently run another.
-        fork_requested = resolve_start_method(start_method) == "fork"
-        try:
-            ctx = mp.get_context("fork") if fork_requested else None
-        except ValueError:  # pragma: no cover - non-POSIX fallback
-            ctx = None
-        if ctx is None:
-            grids = [
-                (index, _block_grid(graph, delta, selected, block, W, q))
-                for index, block in indexed
-            ]
-            grid += _reduce_block_grids(grids)
+        # An explicitly requested-but-unavailable method raises inside
+        # resolve_start_method, exactly like the HARE path — never
+        # silently run another (so "fork" here implies get_context
+        # succeeds).
+        method = resolve_start_method(start_method)
+        if method != "fork":
+            # Non-fork start methods route through the process-wide
+            # shared-memory pool — real parallelism instead of the
+            # historical silent serial fallback.
+            from repro.parallel.pool import shared_pool
+
+            grid += _run_on_pool(
+                shared_pool(workers, start_method=method),
+                graph, delta, args, indexed, workers, backend,
+            )
         else:
-            graph.sequences()
-            graph.ensure_pair_index()
-            graph.edge_lists()
+            ctx = mp.get_context("fork")
+            if backend == "columnar":
+                from repro.core.columnar_kernels import edge_window_ends
+
+                # Build the store and the per-δ edge-window table
+                # before forking so children share them copy-on-write.
+                edge_window_ends(graph.columnar(), delta)
+            else:
+                graph.sequences()
+                graph.ensure_pair_index()
+                graph.edge_lists()
             _WORKER_GRAPH = graph
-            _WORKER_ARGS = (delta, selected, W, q)
+            _WORKER_ARGS = (delta, args)
             # Chunk blocks so IPC is per-chunk, not per-block; the
             # per-block grids come back tagged with their sampling
             # index so the reduction order (and hence the estimate,
             # bit for bit) never depends on the chunking.
-            chunks = [indexed[k::workers * 4] for k in range(workers * 4)]
-            chunks = [c for c in chunks if c]
+            chunks = _split_chunks(indexed, workers)
             collected: List[Tuple[int, np.ndarray]] = []
             try:
-                with ctx.Pool(processes=workers) as pool:
-                    for partial in pool.imap_unordered(_pool_worker, chunks, chunksize=1):
+                with ctx.Pool(processes=workers) as proc_pool:
+                    for partial in proc_pool.imap_unordered(
+                        _pool_worker, chunks, chunksize=1
+                    ):
                         collected.extend(partial)
             finally:
                 _WORKER_GRAPH = None
                 _WORKER_ARGS = ()
             grid += _reduce_block_grids(collected)
     return MotifCounts(grid, algorithm="bts", delta=delta)
+
+
+def _run_on_pool(
+    pool, graph, delta, args, indexed, workers: int, backend: str
+) -> np.ndarray:
+    """Farm block chunks to a persistent pool; reduce canonically."""
+    chunks = _split_chunks(indexed, max(workers, getattr(pool, "workers", 1)))
+    payloads = pool.run_map(
+        graph, "bts_blocks", chunks, args=args, delta=delta, backend=backend
+    )
+    collected = [
+        (index, np.asarray(grid, dtype=np.float64))
+        for payload in payloads
+        for index, grid in payload
+    ]
+    return _reduce_block_grids(collected)
 
 
 def bts_count_pairs(
@@ -230,6 +349,9 @@ def bts_count_pairs(
     seed: int = 0,
     exact_when_full: bool = True,
     workers: int = 1,
+    start_method: Optional[str] = None,
+    backend: str = "python",
+    pool: Optional[object] = None,
 ) -> MotifCounts:
     """BTS-Pair: interval-sampled estimate of the four 2-node motifs."""
     return bts_count(
@@ -241,4 +363,7 @@ def bts_count_pairs(
         motifs=PAIR_MOTIFS,
         exact_when_full=exact_when_full,
         workers=workers,
+        start_method=start_method,
+        backend=backend,
+        pool=pool,
     )

@@ -18,6 +18,20 @@ second edges that open a third node — are subsampled with probability
 FAST), which is the degeneracy argument for unbiasedness.
 
 The paper's configuration is ``p = 0.01, q = 1``.
+
+Two execution backends, identical estimates bit for bit per seed:
+
+* ``backend="python"`` — the per-anchor generator walk below.  Each
+  candidate triple is classified by the precomputed
+  :data:`~repro.core.sampling_kernels.TRIPLE_CELL_TABLE` (an integer
+  shape/direction code instead of a
+  :func:`~repro.core.motifs.classify_triple` canonicalisation per
+  instance), and occurrences are tallied as exact int64 counts per
+  (cell, weight class) — the two weights ``1/p`` and ``1/(p·q)`` are
+  applied once at the end (:func:`~repro.core.sampling_kernels.ews_grid`).
+* ``backend="columnar"`` — the vectorized kernel
+  (:func:`~repro.core.sampling_kernels.ews_columnar_counts`), which
+  draws the same RNG stream and feeds the same tally → grid reduction.
 """
 
 from __future__ import annotations
@@ -28,7 +42,13 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.core.counters import MotifCounts
-from repro.core.motifs import classify_triple
+from repro.core.sampling_kernels import (
+    TRIPLE_CELL_TABLE,
+    ews_grid,
+    second_edge_code,
+    third_edge_code,
+    wedge_node,
+)
 from repro.errors import ValidationError
 from repro.graph.temporal_graph import OUT, TemporalGraph
 
@@ -67,6 +87,44 @@ def _later_incident_edges(
     return sorted(found.values(), key=lambda e: e[1])
 
 
+def _ews_python_counts(
+    graph: TemporalGraph,
+    delta: float,
+    p: float,
+    q: float,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Reference tallies: int64 (pair, wedge) occurrence grids."""
+    src = graph.sources.tolist()
+    dst = graph.destinations.tolist()
+    t = graph.timestamps.tolist()
+    m = graph.num_edges
+    pair_counts = np.zeros(36, dtype=np.int64)
+    wedge_counts = np.zeros(36, dtype=np.int64)
+
+    anchors = np.nonzero(rng.random(m) < p)[0] if p < 1 else np.arange(m)
+    table = TRIPLE_CELL_TABLE
+    for a in anchors.tolist():
+        ta = t[a]
+        limit = ta + delta
+        ua, va = src[a], dst[a]
+        seconds = _later_incident_edges(graph, (ua, va), ta, a, limit)
+        for tb, b, ub, vb in seconds:
+            code2 = second_edge_code(ua, va, ub, vb)
+            is_wedge = code2 >= 2
+            if is_wedge and q < 1 and rng.random() >= q:
+                continue
+            w = wedge_node(code2, ub, vb)
+            bound = (ua, va) if w < 0 else (ua, va, w)
+            counts = wedge_counts if is_wedge else pair_counts
+            base = code2 * 16
+            for _, _, uc, vc in _later_incident_edges(graph, bound, tb, b, limit):
+                cell = table[base + third_edge_code(ua, va, w, uc, vc)]
+                if cell >= 0:
+                    counts[cell] += 1
+    return pair_counts, wedge_counts
+
+
 def ews_count(
     graph: TemporalGraph,
     delta: float,
@@ -74,6 +132,7 @@ def ews_count(
     p: float = 0.01,
     q: float = 1.0,
     seed: int = 0,
+    backend: str = "python",
 ) -> MotifCounts:
     """Estimate all 36 motif counts by edge/wedge sampling.
 
@@ -86,45 +145,32 @@ def ews_count(
         edges that introduce a third node.
     seed:
         RNG seed for both samplers.
+    backend:
+        ``"python"`` (generator walk) or ``"columnar"`` (vectorized
+        kernel over the columnar store).  Same draws, same canonical
+        tally reduction — the estimate is bit-identical either way.
     """
     for name, prob in (("p", p), ("q", q)):
         if not 0 < prob <= 1:
             raise ValidationError(f"{name} must be in (0, 1], got {prob}")
     if delta < 0:
         raise ValidationError(f"delta must be non-negative, got {delta}")
+    if backend not in ("python", "columnar"):
+        raise ValidationError(
+            f"backend must be 'python' or 'columnar', got {backend!r}"
+        )
 
-    rng = np.random.default_rng(seed)
-    src = graph.sources.tolist()
-    dst = graph.destinations.tolist()
-    t = graph.timestamps.tolist()
-    m = graph.num_edges
-    grid = np.zeros((6, 6), dtype=np.float64)
-    if m == 0:
-        return MotifCounts(grid, algorithm="ews", delta=delta)
+    if graph.num_edges == 0:
+        return MotifCounts(np.zeros((6, 6)), algorithm="ews", delta=delta)
+    if backend == "columnar":
+        from repro.core.sampling_kernels import ews_columnar_counts
 
-    anchors = np.nonzero(rng.random(m) < p)[0] if p < 1 else np.arange(m)
-    inv_p = 1.0 / p
-    for a in anchors.tolist():
-        ta = t[a]
-        limit = ta + delta
-        ua, va = src[a], dst[a]
-        e1 = (ua, va)
-        seconds = _later_incident_edges(graph, (ua, va), ta, a, limit)
-        for tb, b, ub, vb in seconds:
-            second_nodes = {ua, va, ub, vb}
-            if len(second_nodes) > 2:
-                # Wedge: subsample with probability q.
-                if q < 1 and rng.random() >= q:
-                    continue
-                weight = inv_p / q
-            else:
-                weight = inv_p
-            thirds = _later_incident_edges(
-                graph, tuple(second_nodes), tb, b, limit
-            )
-            e2 = (ub, vb)
-            for _, _, uc, vc in thirds:
-                motif = classify_triple((e1, e2, (uc, vc)))
-                if motif is not None:
-                    grid[motif.row - 1, motif.col - 1] += weight
-    return MotifCounts(grid, algorithm="ews", delta=delta)
+        pair_counts, wedge_counts = ews_columnar_counts(
+            graph, delta, p=p, q=q, seed=seed
+        )
+    else:
+        rng = np.random.default_rng(seed)
+        pair_counts, wedge_counts = _ews_python_counts(graph, delta, p, q, rng)
+    return MotifCounts(
+        ews_grid(pair_counts, wedge_counts, p, q), algorithm="ews", delta=delta
+    )

@@ -93,6 +93,10 @@ def _fast(request: CountRequest) -> MotifCounts:
     "ex",
     exact=True,
     parallel=True,
+    # Python first: EX's window counters are sublinear in instances,
+    # the columnar enumeration is Θ(instances) — columnar stays
+    # explicit opt-in, never the "auto" resolution.
+    backends=("python", "columnar"),
     description="EX sliding-window baseline (Paranjape et al., WSDM'17)",
 )
 def _ex(request: CountRequest) -> MotifCounts:
@@ -104,6 +108,7 @@ def _ex(request: CountRequest) -> MotifCounts:
         categories=request.categories,
         workers=request.workers,
         start_method=request.start_method,
+        backend=request.backend,
     )
 
 
@@ -150,6 +155,8 @@ def _twoscent(request: CountRequest) -> MotifCounts:
     "bts",
     exact=False,
     parallel=True,
+    pool_runtime=True,
+    backends=("columnar", "python"),
     params={"q": 0.3, "window_factor": 5.0},
     description="BTS interval sampling over BT (Liu et al., WSDM'19)",
 )
@@ -166,12 +173,15 @@ def _bts(request: CountRequest) -> MotifCounts:
         exact_when_full=False,
         workers=request.workers,
         start_method=request.start_method,
+        backend=request.backend,
+        pool=request.pool,
     )
 
 
 @register_algorithm(
     "ews",
     exact=False,
+    backends=("columnar", "python"),
     params={"p": 0.01, "q": 1.0},
     description="EWS edge/wedge sampling (Wang et al., CIKM'20)",
 )
@@ -184,4 +194,5 @@ def _ews(request: CountRequest) -> MotifCounts:
         p=float(request.param("p")),
         q=float(request.param("q")),
         seed=int(request.seed or 0),
+        backend=request.backend,
     )

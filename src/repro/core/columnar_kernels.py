@@ -233,10 +233,38 @@ def _star_precompute(col: ColumnarGraph, delta: float):
     return col.delta_cache[key]
 
 
+def edge_window_ends(col: ColumnarGraph, delta: float) -> np.ndarray:
+    """Per-*edge* forward δ-window end ranks: first id with ``t > t_e + δ``.
+
+    The edge-indexed sibling of :func:`_window_bounds` (which is
+    incidence-position-indexed): an edge's forward δ-window is exactly
+    the id range ``(e, edge_window_ends(col, δ)[e])``.  This is the
+    candidate-cap primitive of the sampling kernels
+    (:mod:`repro.core.sampling_kernels`), which only ever look
+    *forward* from an anchor — so no backward-bound array is computed
+    or shipped.  Memoized per δ alongside the other kernel tables;
+    exported/installed through the same shared-memory bundle so pool
+    workers share one copy.
+    """
+    key = ("ewin", float(delta))
+    cached = col.delta_cache.get(key)
+    if cached is not None:
+        return cached
+    t = col.t
+    hi = np.searchsorted(t, t + delta, side="right")
+    col.delta_cache[key] = hi
+    return hi
+
+
 def warm_delta_cache(
     col: ColumnarGraph, delta: float, star_pair: bool = True
 ) -> None:
-    """Force the per-δ memos now (called before forking HARE workers)."""
+    """Force the FAST per-δ memos now (called before forking HARE workers).
+
+    Sampling jobs warm their own (and only their own) table by calling
+    :func:`edge_window_ends` directly — it has no dependency on the
+    position-indexed window bounds built here.
+    """
     _window_bounds(col, delta)
     if star_pair:
         _star_precompute(col, delta)
@@ -247,7 +275,8 @@ _STAR_TERMS = ("one", "slot", "cin", "gin", "win", "osub", "wsub", "ggin")
 
 
 def export_delta_cache(
-    col: ColumnarGraph, delta: float, star_pair: bool = True
+    col: ColumnarGraph, delta: float, star_pair: bool = True,
+    *, window_bounds: bool = True, edge_window: bool = False,
 ) -> "Dict[str, np.ndarray]":
     """Flatten the per-δ memo tables into a named-array dict.
 
@@ -256,15 +285,20 @@ def export_delta_cache(
     worker pool ships one copy of the O(m)-sized δ tables to every
     worker via shared memory instead of having each worker redo the
     O(m log m) setup (and hold its own quarter-gigabyte copy).
+    ``window_bounds``/``star_pair`` select the FAST kernel tables;
+    ``edge_window`` adds the sampling kernels' per-edge window ranks
+    (:func:`edge_window_ends`) — a sampling-only job exports just
+    those.
     """
-    warm_delta_cache(col, delta, star_pair=star_pair)
-    lo_eid, hi_eid, ws, we = _window_bounds(col, delta)
-    arrays = {
-        "bounds.lo_eid": lo_eid,
-        "bounds.hi_eid": hi_eid,
-        "bounds.ws": ws,
-        "bounds.we": we,
-    }
+    arrays: "Dict[str, np.ndarray]" = {}
+    if window_bounds or star_pair:
+        lo_eid, hi_eid, ws, we = _window_bounds(col, delta)
+        arrays.update({
+            "bounds.lo_eid": lo_eid,
+            "bounds.hi_eid": hi_eid,
+            "bounds.ws": ws,
+            "bounds.we": we,
+        })
     if star_pair:
         gws, gwe, prefixes = _star_precompute(col, delta)
         arrays["star.gws"] = gws
@@ -273,6 +307,8 @@ def export_delta_cache(
             out, into = prefixes[name]
             arrays[f"star.{name}.out"] = out
             arrays[f"star.{name}.in"] = into
+    if edge_window:
+        arrays["ewin.hi"] = edge_window_ends(col, delta)
     return arrays
 
 
@@ -287,12 +323,15 @@ def install_delta_cache(
     :func:`_window_bounds`).
     """
     col.delta_cache.clear()
-    col.delta_cache[("bounds", float(delta))] = (
-        arrays["bounds.lo_eid"],
-        arrays["bounds.hi_eid"],
-        arrays["bounds.ws"],
-        arrays["bounds.we"],
-    )
+    if "bounds.lo_eid" in arrays:
+        col.delta_cache[("bounds", float(delta))] = (
+            arrays["bounds.lo_eid"],
+            arrays["bounds.hi_eid"],
+            arrays["bounds.ws"],
+            arrays["bounds.we"],
+        )
+    if "ewin.hi" in arrays:
+        col.delta_cache[("ewin", float(delta))] = arrays["ewin.hi"]
     if "star.gws" in arrays:
         prefixes = {
             name: (arrays[f"star.{name}.out"], arrays[f"star.{name}.in"])

@@ -298,6 +298,16 @@ def classify_triple(
     return BY_CANONICAL[canonicalize(edges)]
 
 
+def motif_cell(motif: Motif) -> int:
+    """Flat row-major grid cell of a motif: ``(row-1)*6 + (col-1)``.
+
+    The one definition of the 6×6 grid's flat layout — the sampling
+    kernels, their classification table, and the per-cell tallies all
+    index through this.
+    """
+    return (motif.row - 1) * 6 + (motif.col - 1)
+
+
 def star_type_name(star_type: int) -> str:
     """Human-readable star type (``"I"``, ``"II"``, ``"III"``)."""
     return _STAR_TYPE_NAMES[star_type]

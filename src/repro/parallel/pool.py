@@ -92,6 +92,22 @@ _FLUSH_IDLE_SECONDS = 0.002
 #: Seconds between liveness checks while the owner waits on results.
 _POLL_SECONDS = 1.0
 
+#: Map functions runnable on pool workers via :meth:`WorkerPool.run_map`
+#: (name -> "module:attr", resolved worker-side by import so spawn
+#: workers never need the function object pickled).  The sampling
+#: estimators register their block/chunk evaluators here.
+MAP_FUNCTIONS: Dict[str, str] = {
+    "bts_blocks": "repro.baselines.sampling_bts:pool_map_block_grids",
+}
+
+
+def _resolve_map_fn(name: str):
+    """Import the worker-side callable behind a registered map name."""
+    import importlib
+
+    module_name, attr = MAP_FUNCTIONS[name].split(":")
+    return getattr(importlib.import_module(module_name), attr)
+
 
 # ----------------------------------------------------------------------
 # worker process
@@ -104,26 +120,27 @@ class _WorkerGraph:
 
     def __init__(self, manifest_blob: bytes) -> None:
         self.attached = attach_graph(pickle.loads(manifest_blob))
-        #: (delta, star_pair) -> AttachedArrays (kept alive while the
-        #: views sit inside the columnar store's delta_cache), LRU
-        #: capped at :data:`DELTA_TABLE_CACHE` so a long δ sweep does
-        #: not leave every historical table bundle mapped forever.
-        self.delta_attachments: "OrderedDict[Tuple[float, bool], object]" = OrderedDict()
-        self.installed_delta: Optional[Tuple[float, bool]] = None
+        #: manifest blob -> AttachedArrays (kept alive while the views
+        #: sit inside the columnar store's delta_cache), LRU capped at
+        #: :data:`DELTA_TABLE_CACHE` so a long δ sweep does not leave
+        #: every historical table bundle mapped forever.  The owner
+        #: pickles each bundle's manifest exactly once, so the blob
+        #: bytes identify the bundle — including which table kinds
+        #: (FAST window/star, sampling edge-window) it carries.
+        self.delta_attachments: "OrderedDict[bytes, object]" = OrderedDict()
+        self.installed_delta: Optional[bytes] = None
 
     @property
     def graph(self) -> TemporalGraph:
         return self.attached.graph
 
-    def install_delta(
-        self, manifest_blob: Optional[bytes], delta: float, star_pair: bool
-    ) -> None:
+    def install_delta(self, manifest_blob: Optional[bytes], delta: float) -> None:
         """Make the shared per-δ tables resident for the next kernel run."""
         if manifest_blob is None or self.graph._columnar is None:
             return
         from repro.core.columnar_kernels import install_delta_cache
 
-        key = (float(delta), bool(star_pair))
+        key = manifest_blob
         if self.installed_delta == key:
             return
         bundle = self.delta_attachments.get(key)
@@ -193,6 +210,17 @@ def _worker_main(task_q, result_q, graph_cache_limit: int = WORKER_GRAPH_CACHE) 
             )
         partial = None
 
+    def lookup(gid: int, graph_blob: bytes) -> _WorkerGraph:
+        entry = graphs.get(gid)
+        if entry is None:
+            entry = _WorkerGraph(graph_blob)
+            graphs[gid] = entry
+            while len(graphs) > graph_cache_limit:
+                graphs.popitem(last=False)[1].close()
+        else:
+            graphs.move_to_end(gid)
+        return entry
+
     while True:
         if partial is not None:
             try:
@@ -205,19 +233,29 @@ def _worker_main(task_q, result_q, graph_cache_limit: int = WORKER_GRAPH_CACHE) 
         if message[0] == "stop":
             flush()
             break
+        if message[0] == "map":
+            # Generic map job (see WorkerPool.run_map): one payload
+            # message per chunk, no worker-side reduction.
+            flush()
+            (_, job_id, gid, graph_blob, delta_blob,
+             delta, fn, args_blob, index, chunk) = message
+            try:
+                entry = lookup(gid, graph_blob)
+                entry.install_delta(delta_blob, delta)
+                payload = _resolve_map_fn(fn)(
+                    entry.graph, delta, pickle.loads(args_blob), chunk
+                )
+            except BaseException:
+                result_q.put(("err", job_id, traceback.format_exc()))
+                continue
+            result_q.put(("map_ok", job_id, index, payload))
+            continue
         (_, job_id, gid, graph_blob, delta_blob,
          delta, star_pair, triangle, backend, tasks) = message
         try:
-            entry = graphs.get(gid)
-            if entry is None:
-                entry = _WorkerGraph(graph_blob)
-                graphs[gid] = entry
-                while len(graphs) > graph_cache_limit:
-                    graphs.popitem(last=False)[1].close()
-            else:
-                graphs.move_to_end(gid)
+            entry = lookup(gid, graph_blob)
             if backend == "columnar":
-                entry.install_delta(delta_blob, delta, star_pair)
+                entry.install_delta(delta_blob, delta)
             result = execute_tasks(
                 entry.graph, delta, tasks,
                 star_pair=star_pair, triangle=triangle, backend=backend,
@@ -497,17 +535,38 @@ class WorkerPool:
         return state
 
     def _ensure_delta_tables(
-        self, graph: TemporalGraph, state: _GraphState, delta: float, star_pair: bool
+        self,
+        graph: TemporalGraph,
+        state: _GraphState,
+        delta: float,
+        star_pair: bool,
+        *,
+        window_bounds: bool = True,
+        edge_window: bool = False,
     ) -> bytes:
-        """Publish (once) the per-δ kernel tables for a columnar run."""
-        key = (float(delta), bool(star_pair))
+        """Publish (once) the per-δ kernel tables for a columnar run.
+
+        ``star_pair``/``window_bounds`` select the FAST kernel tables,
+        ``edge_window`` the sampling kernels' per-edge window ranks —
+        each flag combination is its own published bundle, so a
+        sampling job never pays for (or ships) the star prefix arrays.
+        """
+        key = (float(delta), bool(star_pair), bool(window_bounds), bool(edge_window))
         entry = state.deltas.get(key)
         if entry is None:
             from repro.core.columnar_kernels import export_delta_cache
 
             bundle = publish_arrays(
-                export_delta_cache(graph.columnar(), delta, star_pair=star_pair),
-                meta={"delta": float(delta), "star_pair": bool(star_pair)},
+                export_delta_cache(
+                    graph.columnar(), delta, star_pair=star_pair,
+                    window_bounds=window_bounds, edge_window=edge_window,
+                ),
+                meta={
+                    "delta": float(delta),
+                    "star_pair": bool(star_pair),
+                    "window_bounds": bool(window_bounds),
+                    "edge_window": bool(edge_window),
+                },
             )
             entry = (bundle, pickle.dumps(bundle.manifest))
             state.deltas[key] = entry
@@ -625,31 +684,18 @@ class WorkerPool:
                 delta, star_pair, triangle, backend, batch.tasks,
             ))
 
-        done = 0
-        while done < len(batches):
-            try:
-                message = self._result_q.get(timeout=_POLL_SECONDS)
-            except queue.Empty:
-                dead = [p.name for p in self._procs if not p.is_alive()]
-                if dead:
-                    self._closed = True
-                    raise ParallelExecutionError(
-                        f"worker(s) {dead} died while executing batches"
-                    )
-                continue
-            kind, msg_job = message[0], message[1]
-            if msg_job != job_id:
-                continue  # stale partial from an aborted job
-            if kind == "err":
-                raise ParallelExecutionError(f"HARE pool worker failed:\n{message[2]}")
+        def reduce_partial(message) -> int:
+            nonlocal star_acc, pair_acc, tri_acc
             _, _, n_batches, star, pair, tri = message
-            done += n_batches
             if star_acc is not None and star is not None:
                 star_acc += np.asarray(star, dtype=np.int64)
             if pair_acc is not None and pair is not None:
                 pair_acc += np.asarray(pair, dtype=np.int64)
             if tri_acc is not None and tri is not None:
                 tri_acc += np.asarray(tri, dtype=np.int64)
+            return n_batches
+
+        self._collect_results(job_id, len(batches), reduce_partial)
 
         payload = (
             star_acc.tolist() if star_acc is not None else None,
@@ -661,6 +707,106 @@ class WorkerPool:
             while len(self._results) > RESULT_CACHE:
                 self._results.popitem(last=False)
         return self._build_counters(payload, star_pair, triangle)
+
+    # -- generic map jobs -------------------------------------------------
+    def run_map(
+        self,
+        graph: TemporalGraph,
+        fn: str,
+        chunks: List,
+        args: Tuple = (),
+        *,
+        delta: float = 0.0,
+        backend: str = "python",
+    ) -> List:
+        """Run a registered map function over ``chunks`` on the workers.
+
+        The generic sibling of :meth:`run_batches` for algorithms whose
+        work decomposition is not a HARE task cover — the sampling
+        estimators farm their block chunks here.  ``fn`` names an entry
+        of :data:`MAP_FUNCTIONS`; each worker resolves it by import and
+        calls ``fn(graph, delta, args, chunk)`` against its attached
+        zero-copy graph.  With ``backend="columnar"`` the per-δ
+        edge-window table is published once and installed in every
+        worker (:func:`repro.core.columnar_kernels.edge_window_ends`
+        shipped via the delta-cache bundle), so no worker repeats the
+        O(m log m) setup.
+
+        Returns the per-chunk payloads **in chunk order** — map
+        reductions are algorithm-specific and must stay canonical, so
+        no owner-side merging happens here.
+        """
+        if fn not in MAP_FUNCTIONS:
+            raise ValidationError(
+                f"unknown map function {fn!r}; registered: {sorted(MAP_FUNCTIONS)}"
+            )
+        if backend not in ("python", "columnar"):
+            raise ValidationError(
+                f"backend must be 'python' or 'columnar', got {backend!r}"
+            )
+        if self.closed:
+            raise ParallelExecutionError("worker pool is closed")
+        chunks = list(chunks)
+        if not chunks:
+            return []
+        with self._lock:
+            state = self._ensure_published(
+                graph, include_columnar=(backend == "columnar")
+            )
+            delta_blob = None
+            if backend == "columnar":
+                delta_blob = self._ensure_delta_tables(
+                    graph, state, delta, star_pair=False,
+                    window_bounds=False, edge_window=True,
+                )
+            args_blob = pickle.dumps(args)
+            job_id = next(self._job_counter)
+            self.stats["jobs"] += 1
+            self.stats["batches"] += len(chunks)
+            for index, chunk in enumerate(chunks):
+                self._task_q.put((
+                    "map", job_id, state.gid, state.manifest_blob, delta_blob,
+                    delta, fn, args_blob, index, chunk,
+                ))
+            results: List = [None] * len(chunks)
+
+            def store_payload(message) -> int:
+                _, _, index, payload = message
+                results[index] = payload
+                return 1
+
+            self._collect_results(job_id, len(chunks), store_payload)
+            return results
+
+    def _collect_results(self, job_id: int, expected: int, handle) -> None:
+        """Drain ``result_q`` for one job until ``expected`` units arrive.
+
+        The shared liveness/stale-message protocol of both job kinds:
+        poll with a timeout so dead workers are detected (the pool then
+        closes and raises), skip partials left over from aborted jobs,
+        and surface worker tracebacks as
+        :class:`~repro.errors.ParallelExecutionError`.  ``handle`` is
+        called with each of this job's payload messages and returns how
+        many work units it accounted for.
+        """
+        done = 0
+        while done < expected:
+            try:
+                message = self._result_q.get(timeout=_POLL_SECONDS)
+            except queue.Empty:
+                dead = [p.name for p in self._procs if not p.is_alive()]
+                if dead:
+                    self._closed = True
+                    raise ParallelExecutionError(
+                        f"worker(s) {dead} died while executing job {job_id}"
+                    )
+                continue
+            kind, msg_job = message[0], message[1]
+            if msg_job != job_id:
+                continue  # stale partial from an aborted job
+            if kind == "err":
+                raise ParallelExecutionError(f"pool worker failed:\n{message[2]}")
+            done += handle(message)
 
     @staticmethod
     def _build_counters(payload, star_pair: bool, triangle: bool):

@@ -22,6 +22,32 @@ def test_ews_with_full_sampling_is_exact(graph, delta):
     assert np.allclose(estimate.grid, exact.grid)
 
 
+@settings(max_examples=40, deadline=None)
+@given(graph=temporal_graphs(), delta=deltas)
+def test_ews_columnar_full_sampling_equals_fast(graph, delta):
+    """The columnar kernel's p = q = 1 degeneracy is *exactly* FAST:
+    every candidate counted once, so the float grid equals the exact
+    int grid cell for cell (the vectorized unbiasedness anchor)."""
+    from repro.core.api import count_motifs
+
+    estimate = ews_count(graph, delta, p=1.0, q=1.0, backend="columnar")
+    exact = count_motifs(graph, delta, backend="columnar")
+    assert np.array_equal(estimate.grid, exact.grid)
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=temporal_graphs(max_edges=30), delta=deltas)
+def test_sampling_backends_bit_identical(graph, delta):
+    """Fixed seed ⇒ python and columnar agree bit for bit (BTS + EWS)."""
+    for p, q in ((0.6, 1.0), (0.6, 0.5)):
+        py = ews_count(graph, delta, p=p, q=q, seed=5, backend="python")
+        col = ews_count(graph, delta, p=p, q=q, seed=5, backend="columnar")
+        assert np.array_equal(py.grid, col.grid), (p, q)
+    py = bts_count(graph, delta, q=0.7, seed=5, exact_when_full=False, backend="python")
+    col = bts_count(graph, delta, q=0.7, seed=5, exact_when_full=False, backend="columnar")
+    assert np.array_equal(py.grid, col.grid)
+
+
 class TestEWS:
     def test_estimates_are_floats(self, paper_graph):
         result = ews_count(paper_graph, 10, p=0.5, seed=1)

@@ -164,8 +164,10 @@ class TestSweepIntegration:
     def test_sweep_without_pool_runtime_algorithms_creates_no_pool(
         self, paper_graph, monkeypatch
     ):
-        """EX/BTS run their own fork farming; a sweep over only those
-        must not pay WorkerPool startup for a pool nothing uses."""
+        """EX runs its own fork time-slab farming; a sweep over only
+        non-pool-runtime algorithms must not pay WorkerPool startup
+        for a pool nothing uses.  (BTS left this club in PR 5: its
+        block chunks now execute on the shared-memory pool runtime.)"""
         import repro.parallel.pool as pool_module
 
         def forbidden(*args, **kwargs):
@@ -173,9 +175,20 @@ class TestSweepIntegration:
 
         monkeypatch.setattr(pool_module, "WorkerPool", forbidden)
         sweep = count_motifs_sweep(
-            paper_graph, deltas=(5,), algorithms=("ex", "bts"), workers=2, seed=3
+            paper_graph, deltas=(5, 10), algorithms=("ex",), workers=2
         )
         assert len(sweep) == 2
+
+    def test_sweep_with_bts_uses_pool_runtime(self, paper_graph):
+        """A workers>1 sweep naming bts rides the sweep-owned pool and
+        still reproduces the serial estimate bit for bit."""
+        sweep = count_motifs_sweep(
+            paper_graph, deltas=(5,), algorithms=("bts",), workers=2, seed=3
+        )
+        serial = count_motifs_sweep(
+            paper_graph, deltas=(5,), algorithms=("bts",), seed=3
+        )
+        assert np.array_equal(sweep.results[0].grid, serial.results[0].grid)
 
     def test_sweep_uses_one_pool(self, paper_graph):
         sweep = count_motifs_sweep(

@@ -86,9 +86,10 @@ def _variants(spec, pools):
     variants.append(("serial-columnar", {"backend": "columnar"}))
     if spec.parallel:
         variants.append(("fork", {"workers": 2, "start_method": "fork"}))
-    if spec.name == "fast":
-        # Spawn and persistent-pool execution run the HARE runtime;
-        # only FAST dispatches there.
+    if spec.pool_runtime:
+        # Persistent-pool execution: HARE batches for fast, block
+        # chunks for bts — both must stay exact under either start
+        # method and either kernel backend.
         variants.append(
             ("pool-fork", {"workers": 2, "pool": pools["fork"], "backend": "columnar"})
         )
@@ -98,6 +99,7 @@ def _variants(spec, pools):
         variants.append(
             ("pool-spawn", {"workers": 2, "pool": pools["spawn"], "backend": "columnar"})
         )
+    if spec.name == "fast":
         variants.append(("static", {"workers": 2, "schedule": "static"}))
     return variants
 

@@ -12,8 +12,10 @@ import numpy as np
 import pytest
 
 from repro.baselines.sampling_bts import bts_count
+from repro.baselines.sampling_ews import ews_count
 from repro.core.api import count_motifs
 from repro.graph.generators import powerlaw_temporal_graph
+from repro.parallel.pool import WorkerPool
 from tests.conftest import random_graph
 
 SEED = 7
@@ -71,6 +73,33 @@ class TestBtsDeterminism:
         # the whole grid would mean the seed is ignored.
         assert not np.array_equal(a.grid, b.grid)
 
+    def test_columnar_bit_identical_across_worker_counts(self, graph):
+        grids = [
+            count_motifs(
+                graph, 50.0, algorithm="bts", seed=SEED, n_samples=2,
+                workers=workers, q=0.6, backend="columnar",
+            ).grid
+            for workers in (1, 2, 3)
+        ]
+        for other in grids[1:]:
+            assert np.array_equal(grids[0], other)
+
+    def test_pool_matches_serial_python_bit_for_bit(self, graph):
+        """Block chunks on the persistent pool — either kernel backend,
+        either start method — never shift the python-serial estimate."""
+        serial = count_motifs(
+            graph, 50.0, algorithm="bts", seed=SEED, n_samples=1, q=0.6,
+            backend="python",
+        )
+        for method in ("fork", "spawn"):
+            with WorkerPool(2, method, result_cache=False) as pool:
+                for backend in ("python", "columnar"):
+                    pooled = count_motifs(
+                        graph, 50.0, algorithm="bts", seed=SEED, n_samples=1,
+                        q=0.6, workers=2, pool=pool, backend=backend,
+                    )
+                    assert np.array_equal(serial.grid, pooled.grid), (method, backend)
+
 
 class TestEwsDeterminism:
     def test_repeated_runs_identical(self, graph):
@@ -86,6 +115,14 @@ class TestEwsDeterminism:
         col = count_motifs(
             graph, 50.0, algorithm="ews", seed=SEED, n_samples=2, backend="columnar"
         )
+        assert np.array_equal(py.grid, col.grid)
+
+    @pytest.mark.parametrize("p,q", [(0.4, 0.5), (1.0, 0.3), (0.2, 0.9)])
+    def test_wedge_subsampling_backend_invariant(self, graph, p, q):
+        """q < 1 draws a wedge coin per candidate — the columnar kernel
+        must consume the python loop's RNG stream in the same order."""
+        py = ews_count(graph, 50.0, p=p, q=q, seed=SEED, backend="python")
+        col = ews_count(graph, 50.0, p=p, q=q, seed=SEED, backend="columnar")
         assert np.array_equal(py.grid, col.grid)
 
 
