@@ -13,6 +13,12 @@ Subcommands
     Print Table-II style statistics for a graph.
 ``bench``
     Run one of the paper's experiments (table2/table3/fig9..fig12b).
+``serve``
+    Run the resident motif-counting daemon: named graphs published to
+    shared memory once, compatible requests batched, typed protocol
+    errors (see ``docs/serving.md``).
+``query``
+    Query a running ``serve`` daemon over its unix socket.
 ``list-datasets``
     Show the sixteen registry datasets.
 ``list-algorithms``
@@ -201,6 +207,113 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_graph_spec(spec: str) -> tuple:
+    """Split a ``name=source`` CLI graph spec; source is path or dataset."""
+    name, sep, source = spec.partition("=")
+    if not sep or not name or not source:
+        raise ReproError(
+            f"--graph expects name=<edgelist path or dataset[:scale]>, got {spec!r}"
+        )
+    return name, source
+
+
+def _load_catalog_source(source: str) -> TemporalGraph:
+    """A ``--graph`` source: a dataset name (``wiki[:scale]``) or a path."""
+    name, _, scale = source.partition(":")
+    if name in REGISTRY:
+        return load_dataset(name, float(scale) if scale else 1.0)
+    return load_edgelist(source)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import MotifService, ServiceConfig, run_daemon
+
+    config = ServiceConfig(
+        workers=args.workers,
+        start_method=args.start_method,
+        batch_window=args.batch_window,
+        max_pending=args.max_pending,
+        tenant_quota=args.tenant_quota,
+        default_timeout=args.default_timeout,
+        idle_timeout=args.idle_timeout,
+    )
+    service = MotifService(config)
+    try:
+        for spec in args.graph:
+            name, source = _parse_graph_spec(spec)
+            graph = _load_catalog_source(source)
+            service.add_graph(name, graph)
+            print(
+                f"catalog: {name} <- {source} "
+                f"({graph.num_nodes:,} nodes, {graph.num_edges:,} edges)",
+                flush=True,
+            )
+        where = []
+        if args.socket:
+            where.append(f"unix:{args.socket}")
+        if args.http_port is not None:
+            where.append(f"http://{args.http_host}:{args.http_port}")
+        print(f"serving on {', '.join(where)} (workers={args.workers})", flush=True)
+        run_daemon(
+            service,
+            socket_path=args.socket,
+            http_host=args.http_host,
+            http_port=args.http_port,
+        )
+    finally:
+        service.close()
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.serve import ServeClient
+
+    with ServeClient(args.socket, timeout=args.connect_timeout) as client:
+        if args.op == "ping":
+            print(json.dumps(client.ping()))
+            return 0
+        if args.op == "stats":
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        if args.op == "catalog":
+            print(json.dumps(client.catalog(), indent=2))
+            return 0
+        if args.op == "algorithms":
+            print(json.dumps(client.algorithms(), indent=2))
+            return 0
+        if args.graph is None or args.delta is None:
+            raise ReproError("query count requires --graph and --delta")
+        counts = client.count(
+            args.graph,
+            args.delta,
+            algorithm=args.algorithm,
+            categories=args.categories,
+            backend=args.backend,
+            seed=args.seed,
+            n_samples=args.n_samples,
+            params=dict(
+                (key, float(value))
+                for key, _, value in (p.partition("=") for p in args.param)
+            ),
+            tenant=args.tenant,
+            timeout=args.timeout,
+        )
+        if args.json:
+            print(json.dumps({
+                "algorithm": counts.algorithm,
+                "delta": counts.delta,
+                "is_exact": counts.is_exact,
+                "total": counts.total(),
+                "elapsed_seconds": counts.elapsed_seconds,
+                "counts": counts.per_motif(),
+            }, indent=2))
+        else:
+            print(counts.to_text(
+                f"{counts.algorithm} δ={counts.delta} total={counts.total():,}"
+            ))
+    return 0
+
+
 def _cmd_list_datasets(_: argparse.Namespace) -> int:
     for name, spec in REGISTRY.items():
         print(
@@ -311,6 +424,67 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--quick", action="store_true", help="scale 0.25 shortcut")
     p_bench.add_argument("--out", help="also write the rendered result to a file")
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the resident motif-counting daemon",
+        description="Serve motif counts for a catalog of named graphs: "
+                    "graphs are published to shared memory once, "
+                    "compatible concurrent requests are batched into "
+                    "single pool runs, and repeats are answered from "
+                    "the result cache.  See docs/serving.md.",
+    )
+    p_serve.add_argument("--graph", action="append", default=[], metavar="NAME=SOURCE",
+                         help="catalog entry: NAME=<edge-list path> or "
+                              "NAME=<dataset[:scale]> (repeatable)")
+    p_serve.add_argument("--socket", default=None,
+                         help="unix socket path for the JSONL transport")
+    p_serve.add_argument("--http-host", default="127.0.0.1")
+    p_serve.add_argument("--http-port", type=int, default=None,
+                         help="TCP port for the HTTP transport (0 = ephemeral)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="worker processes in the service pool (default 2)")
+    p_serve.add_argument("--start-method", choices=("fork", "spawn"), default=None)
+    p_serve.add_argument("--batch-window", type=float, default=0.002,
+                         help="seconds to wait for coalescable requests "
+                              "(default 0.002)")
+    p_serve.add_argument("--max-pending", type=int, default=64,
+                         help="bound on pending request groups before "
+                              "429-style rejection (default 64)")
+    p_serve.add_argument("--tenant-quota", type=int, default=16,
+                         help="concurrent in-flight requests per tenant "
+                              "(default 16)")
+    p_serve.add_argument("--default-timeout", type=float, default=30.0,
+                         help="deadline for requests without a timeout "
+                              "(seconds, default 30)")
+    p_serve.add_argument("--idle-timeout", type=float, default=None,
+                         help="suspend idle pool workers after this many "
+                              "seconds (default: keep them)")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_query = sub.add_parser(
+        "query", help="query a running serve daemon over its unix socket"
+    )
+    p_query.add_argument("--socket", required=True, help="daemon unix socket path")
+    p_query.add_argument("--op", choices=("count", "ping", "stats", "catalog", "algorithms"),
+                         default="count")
+    p_query.add_argument("--graph", default=None, help="catalog graph name")
+    p_query.add_argument("--delta", type=float, default=None, help="time window δ")
+    p_query.add_argument("--algorithm", choices=algorithms, default="fast")
+    p_query.add_argument("--categories", choices=CATEGORIES, default="all")
+    p_query.add_argument("--backend", choices=BACKENDS, default="auto")
+    p_query.add_argument("--seed", type=int, default=None)
+    p_query.add_argument("--n-samples", type=int, default=None)
+    p_query.add_argument("--param", action="append", default=[], metavar="KEY=VALUE",
+                         help="algorithm parameter override (repeatable)")
+    p_query.add_argument("--tenant", default="default", help="quota bucket")
+    p_query.add_argument("--timeout", type=float, default=None,
+                         help="request deadline in seconds (server default "
+                              "applies when omitted)")
+    p_query.add_argument("--connect-timeout", type=float, default=60.0,
+                         help="socket-level timeout (default 60)")
+    p_query.add_argument("--json", action="store_true", help="emit JSON")
+    p_query.set_defaults(func=_cmd_query)
 
     p_list = sub.add_parser("list-datasets", help="show the dataset registry")
     p_list.set_defaults(func=_cmd_list_datasets)

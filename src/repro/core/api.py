@@ -64,6 +64,8 @@ def count_motifs(
     backend: str = "auto",
     pool: Optional[object] = None,
     start_method: Optional[str] = None,
+    request_id: Optional[str] = None,
+    deadline: Optional[float] = None,
     **params: object,
 ) -> MotifCounts:
     """Count 2- and 3-node, 3-edge δ-temporal motifs (Problem 1).
@@ -121,6 +123,14 @@ def count_motifs(
         (``"fork"``/``"spawn"``); default honours the
         ``REPRO_START_METHOD`` environment variable, then the
         platform.  Counts are identical across methods.
+    request_id:
+        Optional caller-assigned trace id, recorded in
+        ``result.meta["request_id"]`` (the serving layer threads its
+        wire-level ids through here).  Never affects results.
+    deadline:
+        Optional absolute :func:`time.monotonic` instant after which
+        the call raises :class:`~repro.errors.DeadlineExceededError`
+        instead of finishing; pool-backed runs abort mid-flight.
     params:
         Algorithm-specific extras declared in the registry, e.g.
         ``q=0.3, window_factor=5.0`` for BTS or ``p=0.01, q=1.0`` for
@@ -146,6 +156,8 @@ def count_motifs(
             "backend": backend != "auto",
             "pool": pool is not None,
             "start_method": start_method is not None,
+            "request_id": request_id is not None,
+            "deadline": deadline is not None,
             "params": bool(params),
         }
         given = sorted(name for name, set_ in overrides.items() if set_)
@@ -168,6 +180,8 @@ def count_motifs(
         backend=backend,
         pool=pool,
         start_method=start_method,
+        request_id=request_id,
+        deadline=deadline,
         params=dict(params),
     )
     return execute(request)
@@ -299,6 +313,7 @@ def count_motifs_sweep(
     backend: str = "auto",
     pool: Optional[object] = None,
     start_method: Optional[str] = None,
+    deadline: Optional[float] = None,
     **params: object,
 ) -> SweepResult:
     """Run every (algorithm, δ) combination and collect the results.
@@ -360,6 +375,7 @@ def count_motifs_sweep(
                     backend=backend,
                     pool=pool if spec.pool_runtime else None,
                     start_method=start_method,
+                    deadline=deadline,
                     params=accepted,
                 )
                 sweep.add(spec.name, delta, execute(request))

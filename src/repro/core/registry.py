@@ -145,6 +145,17 @@ class CountRequest:
     #: (``"fork"``/``"spawn"``; default: ``REPRO_START_METHOD`` env
     #: var, then the platform default).
     start_method: Optional[str] = None
+    #: Caller-assigned identifier for tracing one request through the
+    #: serving layer, worker pools, and result metadata.  Purely
+    #: provenance: never affects results or cache keys.
+    request_id: Optional[str] = field(default=None, compare=False)
+    #: Absolute :func:`time.monotonic` instant after which the request
+    #: is worthless.  :func:`execute` refuses to start (and the pool
+    #: runtimes abort in-flight collection) past it, raising
+    #: :class:`~repro.errors.DeadlineExceededError`.  ``None`` (the
+    #: default) means no deadline.  An execution knob like ``pool``:
+    #: excluded from equality and from every result cache key.
+    deadline: Optional[float] = field(default=None, compare=False)
     params: Dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -166,7 +177,23 @@ class CountRequest:
             )
         if self.n_samples is not None and self.n_samples < 1:
             raise ValidationError(f"n_samples must be >= 1, got {self.n_samples}")
+        if self.deadline is not None:
+            self.deadline = float(self.deadline)
+        if self.request_id is not None and not isinstance(self.request_id, str):
+            raise ValidationError(
+                f"request_id must be a string, got {type(self.request_id).__name__}"
+            )
         _check_start_method(self.start_method)
+
+    def check_deadline(self) -> None:
+        """Raise :class:`~repro.errors.DeadlineExceededError` if expired."""
+        if self.deadline is not None and time.monotonic() >= self.deadline:
+            from repro.errors import DeadlineExceededError
+
+            label = f" {self.request_id!r}" if self.request_id else ""
+            raise DeadlineExceededError(
+                f"request{label} missed its deadline before completion"
+            )
 
     # -- category helpers used by adapters -----------------------------
     @property
@@ -541,6 +568,7 @@ def execute(request: CountRequest) -> "MotifCounts":
 
     spec = get_algorithm(request.algorithm)
     req = request.resolve(spec)
+    req.check_deadline()
     start = time.perf_counter()
     if req.n_samples == 1:
         result = spec.func(req)
@@ -554,6 +582,7 @@ def execute(request: CountRequest) -> "MotifCounts":
         replicate = None
         assert req.seed is not None and req.n_samples is not None
         for i in range(req.n_samples):
+            req.check_deadline()
             tick = time.perf_counter()
             replicate = spec.func(req.with_seed(req.seed + i))
             sample_seconds.append(time.perf_counter() - tick)
@@ -592,6 +621,8 @@ def execute(request: CountRequest) -> "MotifCounts":
         result.algorithm = req.algorithm
     result.meta.setdefault("requested_algorithm", req.algorithm)
     result.meta.setdefault("backend", req.backend)
+    if req.request_id is not None:
+        result.meta.setdefault("request_id", req.request_id)
     if not spec.is_exact:
         result.meta.setdefault("n_samples", req.n_samples)
         result.meta.setdefault("seed", req.seed)

@@ -30,3 +30,35 @@ class DatasetError(ReproError, KeyError):
 
 class ParallelExecutionError(ReproError, RuntimeError):
     """A parallel worker failed while counting motifs."""
+
+
+class DeadlineExceededError(ReproError, TimeoutError):
+    """A request's deadline passed before its result was produced.
+
+    Raised by :func:`repro.core.registry.execute` and the worker-pool
+    runtimes when a :class:`~repro.core.registry.CountRequest` carries
+    a ``deadline`` (a :func:`time.monotonic` instant) that expires
+    before — or while — the work runs.  The serving layer maps it to a
+    typed ``deadline_exceeded`` protocol error.
+    """
+
+
+class QuotaExceededError(ReproError, RuntimeError):
+    """A tenant exceeded its admission quota on the serving layer."""
+
+
+class BackpressureError(ReproError, RuntimeError):
+    """The serving layer's bounded queue is full (try again later).
+
+    The 429-style overload rejection: distinct from
+    :class:`QuotaExceededError` because it signals *global* saturation
+    rather than one tenant's misuse.
+    """
+
+
+class UnknownGraphError(ReproError, KeyError):
+    """A request named a graph the serving catalog does not hold."""
+
+    def __str__(self) -> str:
+        # KeyError.__str__ reprs its argument; keep the plain message.
+        return str(self.args[0]) if self.args else ""

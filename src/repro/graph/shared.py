@@ -115,6 +115,26 @@ class ArrayBundleManifest:
         return dict(self.meta)
 
 
+#: Every owner handle whose segment is still linked, weakly held.
+#: Pure accounting — lifecycle stays with the handles/finalizers.  The
+#: serving catalog (and its tests) audit this to prove that graph
+#: reloads reap the previous generation's segments instead of leaking
+#: ``/dev/shm`` until process exit.
+_LIVE_SEGMENTS: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def live_segments() -> Tuple[str, ...]:
+    """Names of the shm segments this process currently owns (sorted).
+
+    A snapshot for leak audits: a segment leaves the moment its owner
+    handle is closed or collected.  Only *owned* (published) segments
+    count — read-only attachments are the attaching process's concern.
+    """
+    return tuple(sorted(
+        handle.name for handle in list(_LIVE_SEGMENTS) if not handle.closed
+    ))
+
+
 class SharedArrays:
     """Owner handle of one published bundle: the segment plus manifest.
 
@@ -128,10 +148,17 @@ class SharedArrays:
         self.manifest = manifest
         self.nbytes = shm.size
         self._finalizer = weakref.finalize(self, _destroy_segment, shm)
+        _LIVE_SEGMENTS.add(self)
 
     def close(self) -> None:
         """Unmap and unlink the segment (idempotent)."""
         self._finalizer()
+        _LIVE_SEGMENTS.discard(self)
+
+    @property
+    def closed(self) -> bool:
+        """Whether the owner already unlinked this segment."""
+        return not self._finalizer.alive
 
     @property
     def name(self) -> str:

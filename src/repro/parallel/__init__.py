@@ -13,13 +13,21 @@ analogue).
 from repro.parallel.scheduler import WorkBatch, build_batches, partition_static
 from repro.parallel.executor import resolve_start_method, run_batches
 from repro.parallel.hare import hare_count, hare_star_pair, hare_triangle
-from repro.parallel.pool import WorkerPool, close_shared_pools, shared_pool
+from repro.parallel.pool import (
+    WorkerPool,
+    close_all_pools,
+    close_shared_pools,
+    install_signal_handlers,
+    shared_pool,
+)
 
 __all__ = [
     "WorkBatch",
     "WorkerPool",
     "build_batches",
+    "close_all_pools",
     "close_shared_pools",
+    "install_signal_handlers",
     "partition_static",
     "resolve_start_method",
     "run_batches",

@@ -36,9 +36,11 @@ import os
 from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple
 
 from repro.core.counters import PairCounter, StarCounter, TriangleCounter
+import time
+
 from repro.core.fast_star import count_star_pair_tasks
 from repro.core.fast_tri import count_triangle_tasks
-from repro.errors import ParallelExecutionError, ValidationError
+from repro.errors import DeadlineExceededError, ParallelExecutionError, ValidationError
 from repro.graph.temporal_graph import TemporalGraph
 from repro.parallel.scheduler import WorkBatch
 
@@ -112,6 +114,18 @@ def _run_batch(batch: WorkBatch) -> _WorkerResult:
     )
 
 
+def _check_deadline(deadline: Optional[float]) -> None:
+    """Refuse to start work whose deadline has already passed.
+
+    The pool runtimes additionally abort *in-flight* result collection
+    (see :meth:`repro.parallel.pool.WorkerPool.run_batches`); the
+    serial and fork-per-call paths only gate at entry — once a fork
+    pool is up, it runs to completion.
+    """
+    if deadline is not None and time.monotonic() >= deadline:
+        raise DeadlineExceededError("run_batches deadline expired before execution")
+
+
 def _fork_context() -> Optional[mp.context.BaseContext]:
     try:
         return mp.get_context("fork")
@@ -174,6 +188,7 @@ def run_batches(
     backend: str = "python",
     pool: Optional["WorkerPool"] = None,
     start_method: Optional[str] = None,
+    deadline: Optional[float] = None,
 ) -> Tuple[Optional[StarCounter], Optional[PairCounter], Optional[TriangleCounter]]:
     """Execute work batches and reduce the per-worker counters.
 
@@ -186,8 +201,11 @@ def run_batches(
     :class:`~repro.parallel.pool.WorkerPool`; without one,
     ``start_method`` (or ``REPRO_START_METHOD``) picks between the
     fork copy-on-write path and a process-wide shared pool (see the
-    module docstring).  Results are bit-identical across every
-    runtime.
+    module docstring).  ``deadline`` (a :func:`time.monotonic`
+    instant) bounds the call: expired-on-entry requests raise
+    :class:`~repro.errors.DeadlineExceededError` on every runtime, and
+    the pool runtimes also cancel mid-flight.  Results are
+    bit-identical across every runtime.
     """
     if schedule not in ("dynamic", "static"):
         raise ValidationError(f"schedule must be 'dynamic' or 'static', got {schedule!r}")
@@ -198,6 +216,7 @@ def run_batches(
             f"backend must be 'python' or 'columnar', got {backend!r}"
         )
 
+    _check_deadline(deadline)
     runtime = resolved_runtime(pool, workers, start_method, has_work=bool(batches))
     # Both pool runtimes dispatch before any local preparation: their
     # workers attach shared-memory arrays and build (or install) their
@@ -209,7 +228,7 @@ def run_batches(
         assert pool is not None
         return pool.run_batches(
             graph, delta, batches, star_pair=star_pair, triangle=triangle,
-            backend=backend,
+            backend=backend, deadline=deadline,
         )
     if runtime == "shared-pool":
         # Spawn (or other non-fork) start method: the copy-on-write
@@ -222,7 +241,7 @@ def run_batches(
             workers, start_method=resolve_start_method(start_method)
         ).run_batches(
             graph, delta, batches, star_pair=star_pair, triangle=triangle,
-            backend=backend,
+            backend=backend, deadline=deadline,
         )
 
     global _GRAPH, _DELTA, _DO_STAR_PAIR, _DO_TRIANGLE, _BACKEND

@@ -61,6 +61,7 @@ def hare_count(
     backend: str = "python",
     pool: Optional["WorkerPool"] = None,
     start_method: Optional[str] = None,
+    deadline: Optional[float] = None,
 ) -> MotifCounts:
     """Count all motifs with the HARE parallel framework.
 
@@ -79,7 +80,7 @@ def hare_count(
     star, pair, tri = run_batches(
         graph, delta, batches, workers, schedule,
         star_pair=star_pair, triangle=triangle, backend=backend,
-        pool=pool, start_method=start_method,
+        pool=pool, start_method=start_method, deadline=deadline,
     )
     result = MotifCounts.from_counters(
         star, pair, tri, algorithm=f"hare[{workers}]", delta=delta,
@@ -110,6 +111,7 @@ def hare_count_request(request: "CountRequest") -> MotifCounts:
         backend=backend,
         pool=request.pool,
         start_method=request.start_method,
+        deadline=request.deadline,
     )
 
 

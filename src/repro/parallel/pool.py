@@ -48,9 +48,11 @@ from __future__ import annotations
 
 import hashlib
 import itertools
+import os
 import pickle
 import queue
 import threading
+import time
 import traceback
 import weakref
 from collections import OrderedDict
@@ -62,7 +64,7 @@ import multiprocessing as mp
 import numpy as np
 
 from repro.core.counters import PairCounter, StarCounter, TriangleCounter
-from repro.errors import ParallelExecutionError, ValidationError
+from repro.errors import DeadlineExceededError, ParallelExecutionError, ValidationError
 from repro.graph.shared import (
     SharedArrays,
     SharedGraph,
@@ -91,6 +93,12 @@ _FLUSH_IDLE_SECONDS = 0.002
 
 #: Seconds between liveness checks while the owner waits on results.
 _POLL_SECONDS = 1.0
+
+#: Slots in the shared aborted-job ring: workers skip queued tasks of
+#: the last this-many cancelled jobs (deadline aborts), so cancelled
+#: work stops consuming workers instead of running to completion with
+#: its results discarded.
+_ABORT_RING = 16
 
 #: Map functions runnable on pool workers via :meth:`WorkerPool.run_map`
 #: (name -> "module:attr", resolved worker-side by import so spawn
@@ -185,7 +193,17 @@ class _Partial:
         self.batches += 1
 
 
-def _worker_main(task_q, result_q, graph_cache_limit: int = WORKER_GRAPH_CACHE) -> None:
+def _job_aborted(aborted, job_id: int) -> bool:
+    """Whether the owner cancelled ``job_id`` (shared abort ring)."""
+    if aborted is None:
+        return False
+    with aborted.get_lock():
+        return job_id in list(aborted)
+
+
+def _worker_main(
+    task_q, result_q, aborted=None, graph_cache_limit: int = WORKER_GRAPH_CACHE
+) -> None:
     """Worker loop: attach graphs by manifest, run batches, reduce.
 
     Top-level (spawn-picklable).  Protocol: ``("run", job_id, gid,
@@ -195,7 +213,9 @@ def _worker_main(task_q, result_q, graph_cache_limit: int = WORKER_GRAPH_CACHE) 
     ``("ok", job_id, n_batches, star, pair, tri)`` and
     ``("err", job_id, text)`` on ``result_q``.  Partials accumulate
     per job and flush when the queue goes idle or the job changes, so
-    result traffic scales with workers, not batches.
+    result traffic scales with workers, not batches.  ``aborted`` is
+    the shared cancelled-job ring: queued tasks of an aborted job are
+    skipped, not executed (the owner stopped listening).
     """
     from repro.parallel.executor import execute_tasks
 
@@ -239,6 +259,8 @@ def _worker_main(task_q, result_q, graph_cache_limit: int = WORKER_GRAPH_CACHE) 
             flush()
             (_, job_id, gid, graph_blob, delta_blob,
              delta, fn, args_blob, index, chunk) = message
+            if _job_aborted(aborted, job_id):
+                continue
             try:
                 entry = lookup(gid, graph_blob)
                 entry.install_delta(delta_blob, delta)
@@ -252,6 +274,10 @@ def _worker_main(task_q, result_q, graph_cache_limit: int = WORKER_GRAPH_CACHE) 
             continue
         (_, job_id, gid, graph_blob, delta_blob,
          delta, star_pair, triangle, backend, tasks) = message
+        if _job_aborted(aborted, job_id):
+            if partial is not None and partial.job_id == job_id:
+                partial = None
+            continue
         try:
             entry = lookup(gid, graph_blob)
             if backend == "columnar":
@@ -319,6 +345,41 @@ class _GraphState:
         self.has_columnar = False
 
 
+#: Every live pool, weakly held: :func:`close_all_pools` (and the
+#: installed signal handlers) walk it so a daemon dying on SIGTERM
+#: unlinks its shm segments instead of leaking them until the resource
+#: tracker's at-exit sweep (which a signal death skips entirely).
+_LIVE_POOLS: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def _idle_reaper(pool_ref, idle_timeout: float) -> None:
+    """Daemon loop behind ``WorkerPool(idle_timeout=...)``.
+
+    Holds only a weak reference between ticks so the reaper never keeps
+    its pool alive, and only ever *tries* the pool lock — a held lock
+    means a job is in flight, which itself refreshes the activity
+    stamp.  Exits when the pool is collected or closed.
+    """
+    interval = min(1.0, max(0.05, idle_timeout / 4.0))
+    while True:
+        time.sleep(interval)
+        pool = pool_ref()
+        if pool is None or pool._closed:
+            return
+        lock = pool._lock
+        if lock.acquire(blocking=False):
+            try:
+                if (
+                    not pool._suspended
+                    and pool._procs
+                    and time.monotonic() - pool._last_active >= idle_timeout
+                ):
+                    pool._suspend_workers()
+            finally:
+                lock.release()
+        del pool
+
+
 def _shutdown(procs, task_q, states: Dict[int, _GraphState]) -> None:
     """Finalizer body: stop workers, then unlink every published segment."""
     for _ in procs:
@@ -353,6 +414,14 @@ class WorkerPool:
         Answer identical repeated requests from the raw-counter LRU
         (see the module docstring).  ``reuse=`` on
         :meth:`run_batches` overrides per call.
+    idle_timeout:
+        Seconds of inactivity after which the worker processes are
+        *suspended* (joined, freeing their memory and mappings) while
+        published segments, plans, and the result cache stay resident.
+        The next run transparently restarts workers — they are
+        stateless caches; every message carries its manifests.  For
+        long-running daemons that see bursty traffic.  ``None``
+        (default) keeps workers forever.
 
     Use via :func:`repro.core.api.count_motifs` /
     :class:`~repro.core.registry.CountRequest` (``pool=``) or hand
@@ -365,11 +434,16 @@ class WorkerPool:
         start_method: Optional[str] = None,
         *,
         result_cache: bool = True,
+        idle_timeout: Optional[float] = None,
     ) -> None:
         from repro.parallel.executor import resolve_start_method
 
         if workers < 1:
             raise ValidationError(f"workers must be >= 1, got {workers}")
+        if idle_timeout is not None and idle_timeout <= 0:
+            raise ValidationError(
+                f"idle_timeout must be positive (or None), got {idle_timeout}"
+            )
         self.workers = workers
         self.start_method = resolve_start_method(start_method)
         # Start the resource tracker *before* forking workers: children
@@ -387,17 +461,14 @@ class WorkerPool:
         self._ctx = mp.get_context(self.start_method)
         self._task_q = self._ctx.Queue()
         self._result_q = self._ctx.Queue()
-        self._procs = [
-            self._ctx.Process(
-                target=_worker_main,
-                args=(self._task_q, self._result_q),
-                daemon=True,
-                name=f"repro-pool-{i}",
-            )
-            for i in range(workers)
-        ]
-        for proc in self._procs:
-            proc.start()
+        #: Shared cancelled-job ring (see :data:`_ABORT_RING`): written
+        #: by the owner on deadline aborts, read by every worker before
+        #: executing a queued task.
+        self._aborted = self._ctx.Array("q", [-1] * _ABORT_RING)
+        self._abort_slot = 0
+        #: Kept the same list object for the pool's lifetime (the
+        #: finalizer captured it); worker restarts mutate it in place.
+        self._procs: List = []
         #: id(graph) -> _GraphState (weakref-guarded against id reuse).
         self._states: Dict[int, _GraphState] = {}
         #: unpinned published keys, LRU order (evicted beyond the cap).
@@ -406,18 +477,81 @@ class WorkerPool:
         self._job_counter = itertools.count()
         self._result_cache_enabled = result_cache
         self._results: "OrderedDict[Tuple, Tuple]" = OrderedDict()
-        self._lock = threading.Lock()
+        # Reentrant: the public entry points hold it across publication
+        # + dispatch + collection, while helpers like plan_batches and
+        # publish take it on their own for direct callers (the serve
+        # daemon drives one pool from many threads).
+        self._lock = threading.RLock()
         self.stats: Dict[str, int] = {
             "jobs": 0,
             "batches": 0,
             "cache_hits": 0,
             "graphs_published": 0,
             "delta_tables_published": 0,
+            "jobs_aborted": 0,
+            "worker_restarts": 0,
         }
         self._closed = False
+        self._suspended = False
+        self.idle_timeout = idle_timeout
+        self._last_active = time.monotonic()
         self._finalizer = weakref.finalize(
             self, _shutdown, self._procs, self._task_q, self._states
         )
+        self._start_workers()
+        _LIVE_POOLS.add(self)
+        if idle_timeout is not None:
+            reaper = threading.Thread(
+                target=_idle_reaper,
+                args=(weakref.ref(self), idle_timeout),
+                daemon=True,
+                name="repro-pool-idle-reaper",
+            )
+            reaper.start()
+
+    def _start_workers(self) -> None:
+        """(Re)start the worker team; mutates ``_procs`` in place."""
+        self._procs[:] = [
+            self._ctx.Process(
+                target=_worker_main,
+                args=(self._task_q, self._result_q, self._aborted),
+                daemon=True,
+                name=f"repro-pool-{i}",
+            )
+            for i in range(self.workers)
+        ]
+        for proc in self._procs:
+            proc.start()
+        self._suspended = False
+
+    def _ensure_workers(self) -> None:
+        """Revive a suspended worker team (idle-timeout wake-up)."""
+        if self._closed:
+            raise ParallelExecutionError("worker pool is closed")
+        if self._suspended or not self._procs:
+            self._start_workers()
+            self.stats["worker_restarts"] += 1
+
+    def _suspend_workers(self) -> None:
+        """Join the workers, keeping segments/plans/caches resident.
+
+        Called with the lock held (so no job is in flight).  The
+        workers drain any leftover queue content before seeing their
+        stop sentinels; owner-side state is untouched, so the next run
+        restarts them against the same published segments.
+        """
+        if self._closed or self._suspended or not self._procs:
+            return
+        for _ in self._procs:
+            self._task_q.put(("stop",))
+        for proc in self._procs:
+            proc.join(timeout=10)
+        for proc in self._procs:
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=1)
+        self._procs[:] = []
+        self._suspended = True
 
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:
@@ -430,7 +564,21 @@ class WorkerPool:
 
     @property
     def closed(self) -> bool:
-        return self._closed or not all(p.is_alive() for p in self._procs)
+        """Explicitly closed, or a worker died (crash detection).
+
+        A pool suspended by its idle timeout is *not* closed — the
+        next run revives its workers.
+        """
+        if self._closed:
+            return True
+        if self._suspended:
+            return False
+        return not all(p.is_alive() for p in self._procs)
+
+    @property
+    def suspended(self) -> bool:
+        """Whether the idle timeout has parked the worker team."""
+        return self._suspended
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -497,19 +645,21 @@ class WorkerPool:
         unpinned graphs through a small LRU, which suits one-off and
         streaming-slice graphs.
         """
-        state = self._ensure_published(graph, include_columnar)
-        state.pinned = True
-        self._auto.pop(id(graph), None)
-        assert state.gid is not None
-        return state.gid
+        with self._lock:
+            state = self._ensure_published(graph, include_columnar)
+            state.pinned = True
+            self._auto.pop(id(graph), None)
+            assert state.gid is not None
+            return state.gid
 
     def release(self, graph: TemporalGraph) -> None:
         """Drop a graph's published segments and cached state."""
-        key = id(graph)
-        state = self._states.pop(key, None)
-        self._auto.pop(key, None)
-        if state is not None:
-            state.release_segments()
+        with self._lock:
+            key = id(graph)
+            state = self._states.pop(key, None)
+            self._auto.pop(key, None)
+            if state is not None:
+                state.release_segments()
 
     def _ensure_published(
         self, graph: TemporalGraph, include_columnar: bool
@@ -596,15 +746,16 @@ class WorkerPool:
         from repro.parallel.scheduler import build_batches, partition_static
 
         workers = self.workers if workers is None else workers
-        state = self._state(graph)
-        key = (workers, thrd, schedule, split_factor)
-        plan = state.plans.get(key)
-        if plan is None:
-            plan = build_batches(graph, workers, thrd=thrd, split_factor=split_factor)
-            if schedule == "static":
-                plan = partition_static(plan, workers)
-            state.plans[key] = plan
-        return plan
+        with self._lock:
+            state = self._state(graph)
+            key = (workers, thrd, schedule, split_factor)
+            plan = state.plans.get(key)
+            if plan is None:
+                plan = build_batches(graph, workers, thrd=thrd, split_factor=split_factor)
+                if schedule == "static":
+                    plan = partition_static(plan, workers)
+                state.plans[key] = plan
+            return plan
 
     # -- execution ------------------------------------------------------
     def run_batches(
@@ -617,6 +768,7 @@ class WorkerPool:
         triangle: bool = True,
         backend: str = "python",
         reuse: Optional[bool] = None,
+        deadline: Optional[float] = None,
     ) -> Tuple[Optional[StarCounter], Optional[PairCounter], Optional[TriangleCounter]]:
         """Execute batches on the resident workers; reduce the counters.
 
@@ -624,6 +776,12 @@ class WorkerPool:
         :func:`repro.parallel.executor.run_batches`: returns
         ``(star, pair, tri)`` counters for the requested passes.
         ``reuse`` overrides the pool-level result cache for this call.
+        ``deadline`` (a :func:`time.monotonic` instant) cancels the
+        job when it expires mid-collection: the owner stops waiting,
+        the job id enters the shared abort ring so workers skip its
+        queued tasks, and :class:`~repro.errors.DeadlineExceededError`
+        propagates.  Cache hits ignore the deadline (they are
+        instantaneous and deadline never keys a cache).
         """
         if backend not in ("python", "columnar"):
             raise ValidationError(
@@ -632,10 +790,16 @@ class WorkerPool:
         if self.closed:
             raise ParallelExecutionError("worker pool is closed")
         with self._lock:
-            return self._run_batches_locked(
-                graph, delta, batches,
-                star_pair=star_pair, triangle=triangle, backend=backend, reuse=reuse,
-            )
+            self._ensure_workers()
+            self._last_active = time.monotonic()
+            try:
+                return self._run_batches_locked(
+                    graph, delta, batches,
+                    star_pair=star_pair, triangle=triangle, backend=backend,
+                    reuse=reuse, deadline=deadline,
+                )
+            finally:
+                self._last_active = time.monotonic()
 
     @staticmethod
     def _fingerprint_batches(batches: List[WorkBatch]) -> bytes:
@@ -653,7 +817,9 @@ class WorkerPool:
             pickle.dumps([batch.tasks for batch in batches], protocol=4)
         ).digest()
 
-    def _run_batches_locked(self, graph, delta, batches, *, star_pair, triangle, backend, reuse):
+    def _run_batches_locked(
+        self, graph, delta, batches, *, star_pair, triangle, backend, reuse, deadline
+    ):
         state = self._ensure_published(graph, include_columnar=(backend == "columnar"))
         use_cache = self._result_cache_enabled if reuse is None else reuse
         cache_key = (
@@ -667,6 +833,8 @@ class WorkerPool:
                 self.stats["cache_hits"] += 1
                 return self._build_counters(cached, star_pair, triangle)
 
+        if deadline is not None and time.monotonic() >= deadline:
+            raise DeadlineExceededError("pool job deadline expired before dispatch")
         delta_blob = None
         if backend == "columnar":
             delta_blob = self._ensure_delta_tables(graph, state, delta, star_pair)
@@ -695,7 +863,7 @@ class WorkerPool:
                 tri_acc += np.asarray(tri, dtype=np.int64)
             return n_batches
 
-        self._collect_results(job_id, len(batches), reduce_partial)
+        self._collect_results(job_id, len(batches), reduce_partial, deadline=deadline)
 
         payload = (
             star_acc.tolist() if star_acc is not None else None,
@@ -718,6 +886,7 @@ class WorkerPool:
         *,
         delta: float = 0.0,
         backend: str = "python",
+        deadline: Optional[float] = None,
     ) -> List:
         """Run a registered map function over ``chunks`` on the workers.
 
@@ -750,6 +919,10 @@ class WorkerPool:
         if not chunks:
             return []
         with self._lock:
+            self._ensure_workers()
+            self._last_active = time.monotonic()
+            if deadline is not None and time.monotonic() >= deadline:
+                raise DeadlineExceededError("pool map deadline expired before dispatch")
             state = self._ensure_published(
                 graph, include_columnar=(backend == "columnar")
             )
@@ -775,10 +948,30 @@ class WorkerPool:
                 results[index] = payload
                 return 1
 
-            self._collect_results(job_id, len(chunks), store_payload)
+            try:
+                self._collect_results(
+                    job_id, len(chunks), store_payload, deadline=deadline
+                )
+            finally:
+                self._last_active = time.monotonic()
             return results
 
-    def _collect_results(self, job_id: int, expected: int, handle) -> None:
+    def _abort_job(self, job_id: int) -> None:
+        """Cancel a job: record it in the shared abort ring.
+
+        Workers consult the ring before executing every queued task, so
+        the job's remaining work is skipped rather than computed and
+        discarded; any partials it already produced are stale messages
+        that the next collection loop filters by job id.
+        """
+        with self._aborted.get_lock():
+            self._aborted[self._abort_slot % _ABORT_RING] = job_id
+            self._abort_slot += 1
+        self.stats["jobs_aborted"] += 1
+
+    def _collect_results(
+        self, job_id: int, expected: int, handle, deadline: Optional[float] = None
+    ) -> None:
         """Drain ``result_q`` for one job until ``expected`` units arrive.
 
         The shared liveness/stale-message protocol of both job kinds:
@@ -787,12 +980,25 @@ class WorkerPool:
         and surface worker tracebacks as
         :class:`~repro.errors.ParallelExecutionError`.  ``handle`` is
         called with each of this job's payload messages and returns how
-        many work units it accounted for.
+        many work units it accounted for.  An expired ``deadline``
+        aborts the job (see :meth:`_abort_job`) and raises
+        :class:`~repro.errors.DeadlineExceededError` — the workers stay
+        healthy and the pool stays usable.
         """
         done = 0
         while done < expected:
+            timeout = _POLL_SECONDS
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self._abort_job(job_id)
+                    raise DeadlineExceededError(
+                        f"pool job {job_id} missed its deadline mid-flight "
+                        f"({done}/{expected} work units collected)"
+                    )
+                timeout = min(_POLL_SECONDS, remaining)
             try:
-                message = self._result_q.get(timeout=_POLL_SECONDS)
+                message = self._result_q.get(timeout=timeout)
             except queue.Empty:
                 dead = [p.name for p in self._procs if not p.is_alive()]
                 if dead:
@@ -858,3 +1064,59 @@ def close_shared_pools() -> None:
         for pool in _SHARED_POOLS.values():
             pool.close()
         _SHARED_POOLS.clear()
+
+
+def close_all_pools() -> None:
+    """Close every pool in the process — shared *and* directly owned.
+
+    The shutdown half of :func:`install_signal_handlers`; also safe to
+    call directly from daemon teardown paths.  Idempotent (closing a
+    closed pool is a no-op).
+    """
+    close_shared_pools()
+    for pool in list(_LIVE_POOLS):
+        try:
+            pool.close()
+        except Exception:  # pragma: no cover - teardown best effort
+            pass
+
+
+#: Signals whose handlers this module already wrapped (idempotence).
+_INSTALLED_SIGNALS: set = set()
+
+
+def install_signal_handlers(signals: Optional[Tuple[int, ...]] = None) -> None:
+    """Shut every pool down cleanly when SIGTERM/SIGINT arrives.
+
+    A signal death skips interpreter exit, so neither the pool
+    finalizers nor the resource tracker's at-exit sweep run — a
+    ``kill`` of a long-running daemon would leak every published
+    ``/dev/shm`` segment and orphan the worker processes.  The
+    installed handler closes all pools (:func:`close_all_pools`) and
+    then *chains*: a previously installed callable handler is invoked
+    (so ``SIGINT``'s default ``KeyboardInterrupt`` still fires), while
+    a default-disposition signal is re-raised under ``SIG_DFL`` so the
+    process still dies with the correct signal status.
+
+    Idempotent per signal; only the main thread may call it (a
+    :mod:`signal` restriction).
+    """
+    import signal as signal_module
+
+    if signals is None:
+        signals = (signal_module.SIGTERM, signal_module.SIGINT)
+    for signum in signals:
+        if signum in _INSTALLED_SIGNALS:
+            continue
+        previous = signal_module.getsignal(signum)
+
+        def _handler(num, frame, _previous=previous):
+            close_all_pools()
+            if callable(_previous):
+                _previous(num, frame)
+            elif _previous is not signal_module.SIG_IGN:
+                signal_module.signal(num, signal_module.SIG_DFL)
+                os.kill(os.getpid(), num)
+
+        signal_module.signal(signum, _handler)
+        _INSTALLED_SIGNALS.add(signum)

@@ -1,0 +1,129 @@
+"""Blocking client for the ``repro serve`` daemon.
+
+Speaks the unix-socket JSONL transport (see
+:mod:`repro.serve.protocol`); one persistent connection, requests
+answered in order.  Server-side failures re-raise as their original
+:mod:`repro.errors` classes, so remote and local calls are
+interchangeable:
+
+.. code-block:: python
+
+    with ServeClient("/run/repro.sock") as client:
+        counts = client.count("wiki", delta=3600.0, algorithm="fast")
+        counts.per_motif()  # a real MotifCounts, grids included
+
+Thread-safe (one request on the wire at a time, guarded by a lock);
+for high fan-in, open one client per thread instead.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from typing import Dict, List, Optional
+
+from repro.core.counters import MotifCounts
+from repro.errors import ReproError, ValidationError
+from repro.serve.protocol import decode_counts, raise_from_response
+
+
+class ServeClient:
+    """See the module docstring."""
+
+    def __init__(self, socket_path: str, *, timeout: Optional[float] = 60.0) -> None:
+        self.socket_path = socket_path
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        try:
+            self._sock.connect(socket_path)
+        except OSError as exc:
+            self._sock.close()
+            raise ReproError(f"cannot connect to {socket_path!r}: {exc}") from exc
+        self._file = self._sock.makefile("rb")
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- plumbing -------------------------------------------------------
+    def request(self, message: Dict) -> Dict:
+        """One raw round-trip: returns the envelope or raises its error."""
+        data = json.dumps(message).encode() + b"\n"
+        with self._lock:
+            if self._closed:
+                raise ReproError("client is closed")
+            try:
+                self._sock.sendall(data)
+                line = self._file.readline()
+            except OSError as exc:
+                raise ReproError(f"connection to {self.socket_path!r} failed: {exc}") from exc
+        if not line:
+            raise ReproError(f"server at {self.socket_path!r} closed the connection")
+        try:
+            envelope = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"invalid response JSON: {exc}") from exc
+        return raise_from_response(envelope)
+
+    # -- ops ------------------------------------------------------------
+    def count(
+        self,
+        graph: str,
+        delta: float,
+        *,
+        algorithm: str = "fast",
+        categories: str = "all",
+        backend: str = "auto",
+        seed: Optional[int] = None,
+        n_samples: Optional[int] = None,
+        params: Optional[Dict] = None,
+        tenant: str = "default",
+        timeout: Optional[float] = None,
+        request_id: Optional[str] = None,
+    ) -> MotifCounts:
+        """Count motifs on a catalog graph; mirrors
+        :func:`repro.core.api.count_motifs` for the served knobs."""
+        message: Dict = {
+            "op": "count", "graph": graph, "delta": delta,
+            "algorithm": algorithm, "categories": categories,
+            "backend": backend, "tenant": tenant,
+        }
+        if seed is not None:
+            message["seed"] = seed
+        if n_samples is not None:
+            message["n_samples"] = n_samples
+        if params:
+            message["params"] = params
+        if timeout is not None:
+            message["timeout"] = timeout
+        if request_id is not None:
+            message["id"] = request_id
+        return decode_counts(self.request(message)["result"])
+
+    def ping(self) -> Dict:
+        return self.request({"op": "ping"})["result"]
+
+    def stats(self) -> Dict:
+        return self.request({"op": "stats"})["result"]
+
+    def catalog(self) -> List[Dict]:
+        return self.request({"op": "catalog"})["result"]["graphs"]
+
+    def algorithms(self) -> List[Dict]:
+        return self.request({"op": "algorithms"})["result"]["algorithms"]
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._file.close()
+            finally:
+                self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,392 @@
+"""The serving core: admission, coalescing, and execution.
+
+:class:`MotifService` is the transport-independent heart of ``repro
+serve`` — the asyncio daemon is a thin wire adapter over it, and tests
+drive it directly with threads.  One service owns one
+:class:`~repro.parallel.pool.WorkerPool` and one
+:class:`~repro.serve.catalog.GraphCatalog`, and funnels every request
+through three stages:
+
+**Admission** (:meth:`MotifService.submit`, caller's thread).  Checks
+the per-tenant quota and the global bounded queue (429-style
+:class:`~repro.errors.QuotaExceededError` /
+:class:`~repro.errors.BackpressureError`), converts the request's
+``timeout`` into an absolute deadline, takes a catalog lease (the
+snapshot the request will be answered on), and — the first dedupe —
+attaches to an identical in-flight request instead of enqueuing a
+second copy.  Returns a :class:`concurrent.futures.Future`.
+
+**Batching** (dispatcher thread).  Drains the queue after a short
+``batch_window``, groups compatible requests — same graph generation,
+algorithm, backend, categories, seed/replication, params — and runs
+each group as **one** :func:`~repro.core.api.count_motifs_sweep` over
+the member δ values, on the shared pool.  N compatible requests pay
+one graph publication, one plan, one worker dispatch per δ.
+
+**Settlement.**  Every waiter's deadline is re-checked before its
+future resolves (a result that arrives late is still a
+:class:`~repro.errors.DeadlineExceededError`); group deadlines
+propagate into the pool, which aborts expired jobs mid-flight instead
+of finishing work nobody will read.
+
+Identical *repeated* (not just concurrent) requests are the pool's
+job: its version-stamped result cache answers them without touching
+the workers, which is where the warm-cache throughput in
+``BENCH_serve.json`` comes from.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.api import count_motifs_sweep
+from repro.errors import (
+    BackpressureError,
+    DeadlineExceededError,
+    QuotaExceededError,
+    ReproError,
+)
+from repro.serve.catalog import GraphCatalog, GraphLease
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Deployment knobs of one :class:`MotifService`."""
+
+    #: Worker processes in the service-owned pool.
+    workers: int = 2
+    #: Process start method for the pool (None: platform default).
+    start_method: Optional[str] = None
+    #: Seconds the dispatcher waits after waking before draining the
+    #: queue, so a burst of compatible requests lands in one batch.
+    batch_window: float = 0.002
+    #: Bound on queued-or-running request *groups*; admission beyond it
+    #: raises :class:`~repro.errors.BackpressureError` (HTTP 429).
+    max_pending: int = 64
+    #: Concurrent admitted requests allowed per tenant;
+    #: :class:`~repro.errors.QuotaExceededError` beyond it.
+    tenant_quota: int = 16
+    #: Deadline applied when a request carries no ``timeout`` (seconds;
+    #: ``None`` disables the default — requests then wait forever).
+    default_timeout: Optional[float] = 30.0
+    #: Suspend idle pool workers after this many seconds (see
+    #: :class:`~repro.parallel.pool.WorkerPool`); ``None`` keeps them.
+    idle_timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        from repro.errors import ValidationError
+
+        if self.workers < 1:
+            raise ValidationError(f"workers must be >= 1, got {self.workers}")
+        if self.batch_window < 0:
+            raise ValidationError(f"batch_window must be >= 0, got {self.batch_window}")
+        if self.max_pending < 1:
+            raise ValidationError(f"max_pending must be >= 1, got {self.max_pending}")
+        if self.tenant_quota < 1:
+            raise ValidationError(f"tenant_quota must be >= 1, got {self.tenant_quota}")
+
+
+class _Waiter:
+    """One admitted request: its future, quota bucket, and deadline."""
+
+    __slots__ = ("future", "tenant", "deadline", "request_id")
+
+    def __init__(self, future, tenant, deadline, request_id) -> None:
+        self.future = future
+        self.tenant = tenant
+        self.deadline = deadline
+        self.request_id = request_id
+
+
+class _Pending:
+    """One unique in-flight computation (possibly many waiters)."""
+
+    __slots__ = ("key", "fields", "lease", "waiters", "running")
+
+    def __init__(self, key, fields, lease: GraphLease) -> None:
+        self.key = key
+        self.fields = fields
+        self.lease = lease
+        self.waiters: List[_Waiter] = []
+        self.running = False
+
+    def effective_deadline(self) -> Optional[float]:
+        """Latest waiter deadline — ``None`` if any waiter has none.
+
+        The *max*: the computation should keep going as long as anyone
+        admitted is still willing to wait for it.
+        """
+        deadlines = [w.deadline for w in self.waiters]
+        if any(d is None for d in deadlines):
+            return None
+        return max(deadlines) if deadlines else None
+
+
+def _dedup_key(name: str, version: int, fields: Dict) -> Tuple:
+    """What makes two count requests the same computation."""
+    return (
+        name, version, fields["algorithm"], fields["categories"],
+        fields["backend"], fields["seed"], fields["n_samples"],
+        tuple(sorted(fields["params"].items())), float(fields["delta"]),
+    )
+
+
+class MotifService:
+    """See the module docstring.  Thread-safe; one per daemon.
+
+    ``pool`` injects an externally owned
+    :class:`~repro.parallel.pool.WorkerPool` (it will not be closed by
+    :meth:`close`); by default the service creates and owns one per
+    its :class:`ServiceConfig`.
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None, pool=None) -> None:
+        from repro.parallel.pool import WorkerPool
+
+        self.config = config or ServiceConfig()
+        self._owns_pool = pool is None
+        self.pool = pool if pool is not None else WorkerPool(
+            self.config.workers,
+            start_method=self.config.start_method,
+            idle_timeout=self.config.idle_timeout,
+        )
+        self.catalog = GraphCatalog(self.pool)
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        self._queue: List[_Pending] = []
+        self._inflight: Dict[Tuple, _Pending] = {}
+        self._tenant_inflight: Dict[str, int] = {}
+        self._closed = False
+        self.stats: Dict[str, int] = {
+            "requests": 0,
+            "answered": 0,
+            "errors": 0,
+            "coalesced": 0,
+            "executions": 0,
+            "batched_deltas": 0,
+            "rejected_quota": 0,
+            "rejected_backpressure": 0,
+            "deadline_misses": 0,
+        }
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, daemon=True, name="repro-serve-dispatch"
+        )
+        self._dispatcher.start()
+
+    # -- catalog management (delegation sugar) --------------------------
+    def add_graph(self, name: str, source) -> None:
+        """Register a graph; static graphs are pinned into the pool."""
+        from repro.graph.temporal_graph import TemporalGraph
+
+        self.catalog.add(name, source)
+        if isinstance(source, TemporalGraph) and not self.pool.closed:
+            # Static graphs never reload; publish (pinned) now so the
+            # first request does not pay the copy.  Live sources are
+            # auto-published per generation instead.
+            self.pool.publish(source)
+
+    # -- admission ------------------------------------------------------
+    def submit(self, fields: Dict) -> "Future":
+        """Admit one parsed ``count`` request; resolve it asynchronously.
+
+        ``fields`` is the output of
+        :func:`repro.serve.protocol.parse_count` (or an equivalent
+        dict).  Raises the 429-style admission errors synchronously;
+        execution errors surface through the returned future.
+        """
+        tenant = fields.get("tenant", "default")
+        timeout = fields.get("timeout")
+        if timeout is None:
+            timeout = self.config.default_timeout
+        deadline = None if timeout is None else time.monotonic() + float(timeout)
+        with self._cond:
+            if self._closed:
+                raise ReproError("service is shut down")
+            self.stats["requests"] += 1
+            held = self._tenant_inflight.get(tenant, 0)
+            if held >= self.config.tenant_quota:
+                self.stats["rejected_quota"] += 1
+                raise QuotaExceededError(
+                    f"tenant {tenant!r} has {held} requests in flight "
+                    f"(quota {self.config.tenant_quota})"
+                )
+            lease = self.catalog.lease(fields["graph"])  # raises UnknownGraphError
+            try:
+                key = _dedup_key(lease.name, lease.version, fields)
+                pending = self._inflight.get(key)
+                waiter = _Waiter(Future(), tenant, deadline, fields.get("id"))
+                if pending is not None:
+                    # Identical request already queued or running:
+                    # attach, drop the redundant lease.
+                    lease.release()
+                    pending.waiters.append(waiter)
+                    self.stats["coalesced"] += 1
+                else:
+                    if len(self._inflight) >= self.config.max_pending:
+                        self.stats["rejected_backpressure"] += 1
+                        raise BackpressureError(
+                            f"{len(self._inflight)} request groups pending "
+                            f"(bound {self.config.max_pending}); retry later"
+                        )
+                    pending = _Pending(key, fields, lease)
+                    lease = None  # ownership moved to pending
+                    pending.waiters.append(waiter)
+                    self._inflight[key] = pending
+                    self._queue.append(pending)
+                    self._cond.notify_all()
+            except Exception:
+                if lease is not None:
+                    lease.release()
+                raise
+            self._tenant_inflight[tenant] = held + 1
+            return waiter.future
+
+    # -- dispatch -------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    self._cond.wait()
+                if self._closed and not self._queue:
+                    return
+            # Outside the lock: let a burst of concurrent submissions
+            # land before draining, so they ride the same batch.
+            if self.config.batch_window:
+                time.sleep(self.config.batch_window)
+            with self._cond:
+                drained, self._queue = self._queue, []
+                for pending in drained:
+                    pending.running = True
+            for group in self._group(drained):
+                self._execute_group(group)
+
+    @staticmethod
+    def _group(drained: List[_Pending]) -> List[List[_Pending]]:
+        """Partition a drain by everything but δ (order-preserving)."""
+        groups: "Dict[Tuple, List[_Pending]]" = {}
+        for pending in drained:
+            groups.setdefault(pending.key[:-1], []).append(pending)
+        return list(groups.values())
+
+    def _execute_group(self, group: List[_Pending]) -> None:
+        # Settle (and drop) members that expired while queued.
+        live: List[_Pending] = []
+        for pending in group:
+            deadline = pending.effective_deadline()
+            if deadline is not None and time.monotonic() >= deadline:
+                self._settle_error(
+                    pending,
+                    DeadlineExceededError("request expired while queued"),
+                )
+            else:
+                live.append(pending)
+        if not live:
+            return
+        fields = live[0].fields
+        deltas = sorted({float(p.fields["delta"]) for p in live})
+        member_deadlines = [p.effective_deadline() for p in live]
+        group_deadline = (
+            None if any(d is None for d in member_deadlines)
+            else max(member_deadlines)
+        )
+        try:
+            sweep = count_motifs_sweep(
+                live[0].lease.graph,
+                deltas,
+                algorithms=(fields["algorithm"],),
+                categories=fields["categories"],
+                workers=self.config.workers,
+                seed=fields["seed"],
+                n_samples=fields["n_samples"],
+                backend=fields["backend"],
+                pool=self.pool,
+                deadline=group_deadline,
+                **fields["params"],
+            )
+        except Exception as exc:
+            for pending in live:
+                self._settle_error(pending, exc)
+            return
+        with self._lock:
+            self.stats["executions"] += 1
+            self.stats["batched_deltas"] += len(deltas)
+        for pending in live:
+            self._settle_result(
+                pending, sweep.get(fields["algorithm"], float(pending.fields["delta"]))
+            )
+
+    # -- settlement -----------------------------------------------------
+    def _settle_result(self, pending: _Pending, counts) -> None:
+        with self._lock:
+            self._retire(pending)
+            now = time.monotonic()
+            for waiter in pending.waiters:
+                self._tenant_inflight[waiter.tenant] -= 1
+                if waiter.deadline is not None and now >= waiter.deadline:
+                    self.stats["deadline_misses"] += 1
+                    self.stats["errors"] += 1
+                    waiter.future.set_exception(DeadlineExceededError(
+                        "result arrived after the request's deadline"
+                    ))
+                else:
+                    self.stats["answered"] += 1
+                    waiter.future.set_result(counts)
+
+    def _settle_error(self, pending: _Pending, exc: BaseException) -> None:
+        with self._lock:
+            self._retire(pending)
+            if isinstance(exc, DeadlineExceededError):
+                self.stats["deadline_misses"] += len(pending.waiters)
+            self.stats["errors"] += len(pending.waiters)
+            for waiter in pending.waiters:
+                self._tenant_inflight[waiter.tenant] -= 1
+                waiter.future.set_exception(exc)
+
+    def _retire(self, pending: _Pending) -> None:
+        """Remove from the dedupe index and return the catalog lease."""
+        if self._inflight.get(pending.key) is pending:
+            del self._inflight[pending.key]
+        pending.lease.release()
+
+    # -- introspection / lifecycle -------------------------------------
+    def describe_stats(self) -> Dict[str, object]:
+        """JSON-safe merged counters: service + pool + catalog."""
+        with self._lock:
+            merged: Dict[str, object] = dict(self.stats)
+        merged["pool"] = dict(self.pool.stats)
+        merged["pool_workers"] = self.pool.workers
+        merged["pool_suspended"] = self.pool.suspended
+        merged["catalog"] = dict(self.catalog.stats)
+        return merged
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Drain, stop the dispatcher, retire the catalog and pool."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        self._dispatcher.join(timeout=30)
+        # Settle anything still queued (submitted before close won).
+        with self._lock:
+            leftovers = list(self._queue)
+            self._queue = []
+        for pending in leftovers:
+            self._settle_error(pending, ReproError("service is shut down"))
+        self.catalog.close()
+        if self._owns_pool:
+            self.pool.close()
+
+    def __enter__(self) -> "MotifService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

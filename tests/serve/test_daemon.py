@@ -1,0 +1,232 @@
+"""End-to-end daemon tests: unix-socket JSONL, HTTP, typed wire errors."""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.api import count_motifs
+from repro.errors import (
+    DeadlineExceededError,
+    QuotaExceededError,
+    ReproError,
+    UnknownGraphError,
+    ValidationError,
+)
+from repro.serve import MotifService, ServeClient, ServeDaemon, ServiceConfig
+from repro.serve.protocol import PROTOCOL_VERSION, canonical_counts_bytes
+
+from tests.serve.conftest import running_daemon
+
+
+# ---------------------------------------------------------------------------
+# unix socket + client
+# ---------------------------------------------------------------------------
+
+def test_ping_and_introspection_ops(served):
+    _, socket_path = served
+    with ServeClient(socket_path) as client:
+        pong = client.ping()
+        assert pong["version"] == PROTOCOL_VERSION
+        assert "demo" in [row["name"] for row in client.catalog()]
+        assert "fast" in [spec["name"] for spec in client.algorithms()]
+        stats = client.stats()
+        assert "answered" in stats and "pool" in stats
+
+
+def test_served_exact_counts_are_byte_identical(served, graph):
+    _, socket_path = served
+    with ServeClient(socket_path) as client:
+        for delta in (15.0, 45.0):
+            served_counts = client.count("demo", delta)
+            direct = count_motifs(graph, delta, algorithm="fast")
+            assert canonical_counts_bytes(served_counts) == canonical_counts_bytes(direct)
+            assert served_counts.is_exact
+
+
+def test_served_sampling_counts_reproduce_fixed_seed(served, graph):
+    _, socket_path = served
+    with ServeClient(socket_path) as client:
+        served_counts = client.count(
+            "demo", 30.0, algorithm="bts", seed=7, n_samples=3
+        )
+        direct = count_motifs(graph, 30.0, algorithm="bts", seed=7, n_samples=3)
+        assert canonical_counts_bytes(served_counts) == canonical_counts_bytes(direct)
+        assert np.array_equal(served_counts.stderr, direct.stderr)
+
+
+def test_wire_errors_arrive_typed(served):
+    _, socket_path = served
+    with ServeClient(socket_path) as client:
+        with pytest.raises(UnknownGraphError):
+            client.count("missing", 10.0)
+        with pytest.raises(ValidationError):
+            client.count("demo", 10.0, algorithm="not-real")
+        with pytest.raises(ValidationError):
+            client.request({"op": "count", "graph": "demo"})  # no delta
+        with pytest.raises(ReproError):
+            client.request({"op": "warp"})  # unknown op
+        # The connection survives every error above.
+        assert client.ping()["version"] == PROTOCOL_VERSION
+
+
+def test_deadline_and_quota_errors_cross_the_wire(graph):
+    service = MotifService(
+        ServiceConfig(workers=1, batch_window=0.5, tenant_quota=1)
+    )
+    service.add_graph("demo", graph)
+    try:
+        with running_daemon(service) as (_, socket_path):
+            with ServeClient(socket_path) as client:
+                with pytest.raises(DeadlineExceededError):
+                    client.count("demo", 20.0, timeout=0.01)
+
+                # Pin carol's only quota slot with a direct submission;
+                # the wide batch window keeps it queued while the wire
+                # request for a *different* delta arrives and is turned
+                # away with a typed 429-class error.
+                held = service.submit({
+                    "graph": "demo", "delta": 35.0, "algorithm": "fast",
+                    "categories": "all", "backend": "auto", "seed": None,
+                    "n_samples": None, "params": {}, "tenant": "carol",
+                    "timeout": 30.0, "id": None,
+                })
+                with pytest.raises(QuotaExceededError):
+                    client.count("demo", 36.0, tenant="carol")
+                held.result(60)
+    finally:
+        service.close()
+
+
+def test_concurrent_clients_share_one_execution(graph):
+    service = MotifService(ServiceConfig(workers=2, batch_window=0.4))
+    service.add_graph("demo", graph)
+    try:
+        with running_daemon(service) as (_, socket_path):
+            results, errors = [], []
+
+            def hit() -> None:
+                try:
+                    with ServeClient(socket_path) as client:
+                        results.append(client.count("demo", 28.0))
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=hit) for _ in range(5)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+            assert not errors
+            assert len(results) == 5
+            for counts in results[1:]:
+                assert np.array_equal(counts.grid, results[0].grid)
+            assert service.stats["executions"] == 1
+            assert service.stats["coalesced"] == 4
+    finally:
+        service.close()
+
+
+def test_malformed_json_line_gets_bad_request_envelope(served):
+    _, socket_path = served
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.connect(socket_path)
+    try:
+        sock.sendall(b"this is not json\n")
+        reply = json.loads(sock.makefile("rb").readline())
+        assert reply["ok"] is False
+        assert reply["error"]["code"] == "bad_request"
+    finally:
+        sock.close()
+
+
+def test_request_id_echoes_back(served):
+    _, socket_path = served
+    with ServeClient(socket_path) as client:
+        envelope = client.request(
+            {"op": "count", "graph": "demo", "delta": 12.0, "id": "req-42"}
+        )
+        assert envelope["id"] == "req-42"
+        bad = {"op": "count", "graph": "nope", "delta": 1.0, "id": "req-43"}
+        with pytest.raises(UnknownGraphError):
+            client.request(bad)
+
+
+def test_client_rejects_missing_socket(tmp_path):
+    with pytest.raises(ReproError):
+        ServeClient(str(tmp_path / "absent.sock"))
+
+
+# ---------------------------------------------------------------------------
+# HTTP transport
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def http_served(graph):
+    service = MotifService(ServiceConfig(workers=2, batch_window=0.001))
+    service.add_graph("demo", graph)
+    try:
+        with running_daemon(service, http=True) as (daemon, _):
+            host, port = daemon.http_address
+            yield service, f"http://{host}:{port}"
+    finally:
+        service.close()
+
+
+def _http_json(url, payload=None):
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(
+        url,
+        data=data,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return response.status, json.loads(response.read())
+
+
+def test_http_count_matches_direct(http_served, graph):
+    _, base = http_served
+    status, envelope = _http_json(
+        base + "/v1/count", {"graph": "demo", "delta": 25.0}
+    )
+    assert status == 200 and envelope["ok"] is True
+    from repro.serve.protocol import decode_counts
+
+    served_counts = decode_counts(envelope["result"])
+    direct = count_motifs(graph, 25.0, algorithm="fast")
+    assert canonical_counts_bytes(served_counts) == canonical_counts_bytes(direct)
+
+
+def test_http_status_codes_follow_error_classes(http_served):
+    _, base = http_served
+    status, envelope = _http_json(base + "/v1/ping")
+    assert status == 200 and envelope["result"]["version"] == PROTOCOL_VERSION
+
+    with pytest.raises(urllib.error.HTTPError) as info:
+        _http_json(base + "/v1/count", {"graph": "ghost", "delta": 1.0})
+    assert info.value.code == 404
+    assert json.loads(info.value.read())["error"]["code"] == "unknown_graph"
+
+    with pytest.raises(urllib.error.HTTPError) as info:
+        _http_json(base + "/v1/count", {"graph": "demo", "delta": "wat"})
+    assert info.value.code == 400
+
+    with pytest.raises(urllib.error.HTTPError) as info:
+        _http_json(base + "/v1/nowhere")
+    assert info.value.code == 404
+
+
+def test_daemon_requires_at_least_one_transport(graph):
+    service = MotifService(ServiceConfig(workers=1))
+    service.add_graph("demo", graph)
+    try:
+        with pytest.raises(ValidationError):
+            ServeDaemon(service)
+    finally:
+        service.close()

@@ -1,0 +1,212 @@
+"""MotifService admission/batching tests: coalescing, quotas, deadlines."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.api import count_motifs
+from repro.errors import (
+    BackpressureError,
+    DeadlineExceededError,
+    QuotaExceededError,
+    ReproError,
+    UnknownGraphError,
+    ValidationError,
+)
+from repro.serve import MotifService, ServiceConfig
+from repro.serve.protocol import canonical_counts_bytes
+
+
+def count_fields(graph="demo", delta=40.0, **overrides):
+    fields = {
+        "graph": graph, "delta": float(delta), "algorithm": "fast",
+        "categories": "all", "backend": "auto", "seed": None,
+        "n_samples": None, "params": {}, "tenant": "default",
+        "timeout": 30.0, "id": None,
+    }
+    fields.update(overrides)
+    return fields
+
+
+@pytest.fixture
+def service(graph):
+    svc = MotifService(ServiceConfig(workers=2, batch_window=0.001))
+    svc.add_graph("demo", graph)
+    try:
+        yield svc
+    finally:
+        svc.close()
+
+
+def test_served_counts_match_direct_call(service, graph):
+    served = service.submit(count_fields(delta=40.0)).result(60)
+    direct = count_motifs(graph, 40.0, algorithm="fast")
+    assert canonical_counts_bytes(served) == canonical_counts_bytes(direct)
+
+
+def test_unknown_graph_is_synchronous_and_typed(service):
+    with pytest.raises(UnknownGraphError):
+        service.submit(count_fields(graph="missing"))
+
+
+def test_bad_algorithm_surfaces_as_validation_error(service):
+    future = service.submit(count_fields(algorithm="not-an-algorithm"))
+    with pytest.raises(ValidationError):
+        future.result(60)
+
+
+def test_duplicate_inflight_requests_coalesce_to_one_execution(graph):
+    # A wide batch window holds the queue open while identical
+    # requests pile up; all must resolve from a single pool execution.
+    svc = MotifService(ServiceConfig(workers=2, batch_window=0.4))
+    svc.add_graph("demo", graph)
+    try:
+        futures = [svc.submit(count_fields(delta=35.0)) for _ in range(6)]
+        results = [f.result(60) for f in futures]
+        grids = [r.grid for r in results]
+        for grid in grids[1:]:
+            assert np.array_equal(grid, grids[0])
+        assert svc.stats["executions"] == 1
+        assert svc.stats["coalesced"] == 5
+        assert svc.stats["answered"] == 6
+    finally:
+        svc.close()
+
+
+def test_compatible_deltas_batch_into_one_sweep(graph):
+    svc = MotifService(ServiceConfig(workers=2, batch_window=0.4))
+    svc.add_graph("demo", graph)
+    try:
+        deltas = [20.0, 40.0, 60.0]
+        futures = [svc.submit(count_fields(delta=d)) for d in deltas]
+        results = {d: f.result(60) for d, f in zip(deltas, futures)}
+        # One batched execution covering all three δ, answers exact.
+        assert svc.stats["executions"] == 1
+        assert svc.stats["batched_deltas"] == 3
+        for d in deltas:
+            direct = count_motifs(graph, d, algorithm="fast")
+            assert canonical_counts_bytes(results[d]) == canonical_counts_bytes(direct)
+    finally:
+        svc.close()
+
+
+def test_tenant_quota_rejects_excess_in_flight(graph):
+    svc = MotifService(ServiceConfig(workers=1, batch_window=0.5, tenant_quota=2))
+    svc.add_graph("demo", graph)
+    try:
+        held = [
+            svc.submit(count_fields(delta=d, tenant="alice"))
+            for d in (10.0, 20.0)
+        ]
+        with pytest.raises(QuotaExceededError):
+            svc.submit(count_fields(delta=30.0, tenant="alice"))
+        # Another tenant is unaffected: quotas are per tenant.
+        other = svc.submit(count_fields(delta=30.0, tenant="bob"))
+        for future in held + [other]:
+            future.result(60)
+        assert svc.stats["rejected_quota"] == 1
+        # Quota slots were returned on completion.
+        svc.submit(count_fields(delta=40.0, tenant="alice")).result(60)
+    finally:
+        svc.close()
+
+
+def test_backpressure_bounds_pending_groups(graph):
+    svc = MotifService(ServiceConfig(workers=1, batch_window=0.5, max_pending=2))
+    svc.add_graph("demo", graph)
+    try:
+        held = [svc.submit(count_fields(delta=d)) for d in (10.0, 20.0)]
+        with pytest.raises(BackpressureError):
+            svc.submit(count_fields(delta=30.0))
+        # Identical to an in-flight request: coalesces, never rejected.
+        dup = svc.submit(count_fields(delta=10.0))
+        for future in held + [dup]:
+            future.result(60)
+        assert svc.stats["rejected_backpressure"] == 1
+        assert svc.stats["coalesced"] == 1
+    finally:
+        svc.close()
+
+
+def test_deadline_expires_while_queued(graph):
+    svc = MotifService(ServiceConfig(workers=1, batch_window=0.3))
+    svc.add_graph("demo", graph)
+    try:
+        future = svc.submit(count_fields(delta=25.0, timeout=0.01))
+        with pytest.raises(DeadlineExceededError):
+            future.result(60)
+        assert svc.stats["deadline_misses"] >= 1
+        # The service stays healthy for later requests.
+        ok = svc.submit(count_fields(delta=25.0, timeout=30.0))
+        assert ok.result(60).total() >= 0
+    finally:
+        svc.close()
+
+
+def test_default_timeout_applies_when_request_has_none(graph):
+    svc = MotifService(
+        ServiceConfig(workers=1, batch_window=0.3, default_timeout=0.01)
+    )
+    svc.add_graph("demo", graph)
+    try:
+        future = svc.submit(count_fields(delta=25.0, timeout=None))
+        with pytest.raises(DeadlineExceededError):
+            future.result(60)
+    finally:
+        svc.close()
+
+
+def test_concurrent_submissions_from_many_threads(service, graph):
+    deltas = [10.0, 20.0, 30.0, 40.0]
+    direct = {
+        d: canonical_counts_bytes(count_motifs(graph, d, algorithm="fast"))
+        for d in deltas
+    }
+    errors = []
+    matches = []
+
+    def worker(idx: int) -> None:
+        try:
+            d = deltas[idx % len(deltas)]
+            counts = service.submit(
+                count_fields(delta=d, tenant=f"t{idx % 3}")
+            ).result(60)
+            matches.append(canonical_counts_bytes(counts) == direct[d])
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(12)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    assert not errors
+    assert len(matches) == 12 and all(matches)
+
+
+def test_repeated_requests_hit_the_pool_result_cache(service):
+    service.submit(count_fields(delta=33.0)).result(60)
+    hits_before = service.pool.stats["cache_hits"]
+    service.submit(count_fields(delta=33.0)).result(60)
+    assert service.pool.stats["cache_hits"] > hits_before
+
+
+def test_submit_after_close_raises(graph):
+    svc = MotifService(ServiceConfig(workers=1))
+    svc.add_graph("demo", graph)
+    svc.close()
+    with pytest.raises(ReproError):
+        svc.submit(count_fields())
+    svc.close()  # idempotent
+
+
+def test_describe_stats_merges_pool_and_catalog(service):
+    service.submit(count_fields(delta=12.0)).result(60)
+    stats = service.describe_stats()
+    assert stats["answered"] >= 1
+    assert "jobs" in stats["pool"]
+    assert "generations_reaped" in stats["catalog"]
+    assert stats["pool_workers"] == 2
