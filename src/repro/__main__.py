@@ -2,6 +2,6 @@
 
 import sys
 
-from repro.cli import main
+from repro.cli import _script_main
 
-sys.exit(main())
+sys.exit(_script_main())

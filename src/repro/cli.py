@@ -57,6 +57,8 @@ def _add_graph_source(parser: argparse.ArgumentParser) -> None:
     group = parser.add_mutually_exclusive_group(required=True)
     group.add_argument("--input", help="SNAP-format edge list file (u v t per line)")
     group.add_argument("--dataset", choices=sorted(REGISTRY), help="registry dataset name")
+    group.add_argument("--source", help="packed binary graph file (`repro pack` output), "
+                                        "opened zero-copy through mmap")
     parser.add_argument(
         "--scale", type=float, default=1.0,
         help="dataset scale factor (registry datasets only, default 1.0)",
@@ -66,11 +68,17 @@ def _add_graph_source(parser: argparse.ArgumentParser) -> None:
 def _load_graph(args: argparse.Namespace) -> TemporalGraph:
     if args.input:
         return load_edgelist(args.input)
+    if getattr(args, "source", None):
+        from repro.storage import open_packed
+
+        return open_packed(args.source).graph
     return load_dataset(args.dataset, args.scale)
 
 
 def _cmd_count(args: argparse.Namespace) -> int:
-    graph = _load_graph(args)
+    # A packed source is threaded through the request itself (the
+    # registry opens it), so provenance lands in result.meta["source"].
+    graph = None if args.source else _load_graph(args)
     counts = count_motifs(
         graph,
         args.delta,
@@ -83,6 +91,8 @@ def _cmd_count(args: argparse.Namespace) -> int:
         n_samples=args.n_samples,
         backend=args.backend,
         start_method=args.start_method,
+        source=args.source,
+        shard_budget=args.shard_budget,
     )
     dominant = counts.dominant_phase()
     if args.json:
@@ -105,6 +115,9 @@ def _cmd_count(args: argparse.Namespace) -> int:
             payload["total_stderr"] = counts.meta.get("total_stderr")
         if "coverage" in counts.meta:
             payload["coverage"] = counts.meta["coverage"]
+        for key in ("source", "sharding", "shards", "halo_edges"):
+            if key in counts.meta:
+                payload[key] = counts.meta[key]
         print(json.dumps(payload, indent=2))
     else:
         print(counts.to_text(
@@ -122,6 +135,12 @@ def _cmd_count(args: argparse.Namespace) -> int:
             )
         if "coverage" in counts.meta:
             print(f"coverage: {counts.meta['coverage']}")
+        if counts.meta.get("sharding") == "halo-union":
+            print(
+                f"sharding: halo-union over {counts.meta['shards']} shard(s), "
+                f"{counts.meta['halo_edges']:,} halo edges "
+                f"(budget {counts.meta['shard_budget']:,})"
+            )
         if not counts.is_exact:
             # Grid cells of one replicate are correlated, so the CI on
             # the total uses the replicate-total stderr the dispatcher
@@ -172,6 +191,22 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_pack(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.storage import pack_graph
+
+    graph = _load_graph(args)
+    header = pack_graph(graph, args.out, layout=args.layout)
+    size = os.path.getsize(args.out)
+    print(
+        f"packed {header['num_edges']:,} edges / {header['num_nodes']:,} nodes "
+        f"-> {args.out} ({size:,} bytes, layout={header['layout']}, "
+        f"{len(header['sections'])} sections)"
+    )
+    return 0
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     graph = load_dataset(args.dataset, args.scale)
     save_edgelist(graph, args.out)
@@ -217,11 +252,15 @@ def _parse_graph_spec(spec: str) -> tuple:
     return name, source
 
 
-def _load_catalog_source(source: str) -> TemporalGraph:
-    """A ``--graph`` source: a dataset name (``wiki[:scale]``) or a path."""
+def _load_catalog_source(source: str):
+    """A ``--graph`` source: dataset name (``wiki[:scale]``), packed file, or path."""
     name, _, scale = source.partition(":")
     if name in REGISTRY:
         return load_dataset(name, float(scale) if scale else 1.0)
+    from repro.storage import is_packed_file, open_packed
+
+    if is_packed_file(source):
+        return open_packed(source)
     return load_edgelist(source)
 
 
@@ -367,8 +406,30 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default: REPRO_START_METHOD env var, then the "
                               "platform default; spawn routes through the "
                               "shared-memory worker pool)")
+    p_count.add_argument("--shard-budget", type=int, default=None,
+                         help="out-of-core mode: maximum own edges per time "
+                              "shard; exact algorithms count shard-by-shard "
+                              "with δ-overlap halos (identical counts, peak "
+                              "memory proportional to the budget)")
     p_count.add_argument("--json", action="store_true", help="emit JSON")
     p_count.set_defaults(func=_cmd_count)
+
+    p_pack = sub.add_parser(
+        "pack",
+        help="pack a graph into the binary columnar format",
+        description="Write a graph to the versioned binary columnar "
+                    "format (see docs/storage.md): parse and "
+                    "columnar-build cost are paid once, then "
+                    "`count --source FILE` reopens it zero-copy "
+                    "through mmap.",
+    )
+    _add_graph_source(p_pack)
+    p_pack.add_argument("--out", required=True, help="output file (conventionally .rgz)")
+    p_pack.add_argument("--layout", choices=("full", "edges"), default="full",
+                        help="full (default): edge columns + every derived "
+                             "columnar array; edges: smallest file, columnar "
+                             "arrays rebuilt lazily on open")
+    p_pack.set_defaults(func=_cmd_pack)
 
     p_stream = sub.add_parser(
         "stream",
@@ -518,5 +579,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
 
+def _script_main() -> int:  # pragma: no cover - real process entry only
+    """Entry for ``python -m repro`` / ``python -m repro.cli``.
+
+    Installs the pool signal handlers so a SIGTERM mid-count cannot
+    leak pool workers or ``/dev/shm`` segments (same contract as the
+    serve daemon).  Only here, not in :func:`main`: callers embedding
+    ``main()`` in a larger process (the test suite, notebooks) must
+    not have their global signal disposition rewritten.
+    """
+    from repro.parallel import install_signal_handlers
+
+    install_signal_handlers()
+    return main()
+
+
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(_script_main())

@@ -14,6 +14,7 @@ of runs every benchmark needs, returning a :class:`SweepResult`.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -66,6 +67,8 @@ def count_motifs(
     start_method: Optional[str] = None,
     request_id: Optional[str] = None,
     deadline: Optional[float] = None,
+    source: Optional[str] = None,
+    shard_budget: Optional[int] = None,
     **params: object,
 ) -> MotifCounts:
     """Count 2- and 3-node, 3-edge δ-temporal motifs (Problem 1).
@@ -75,7 +78,10 @@ def count_motifs(
     graph:
         Input temporal graph — or a ready-made
         :class:`~repro.core.registry.CountRequest`, in which case every
-        other argument must be left at its default.
+        other argument must be left at its default.  Also accepts an
+        open :class:`~repro.storage.format.PackedGraph` or a path to a
+        packed file (``repro pack`` output), equivalent to passing
+        ``source=`` with ``graph=None``.
     delta:
         Time constraint δ, in the timestamps' unit.
     algorithm:
@@ -131,6 +137,14 @@ def count_motifs(
         Optional absolute :func:`time.monotonic` instant after which
         the call raises :class:`~repro.errors.DeadlineExceededError`
         instead of finishing; pool-backed runs abort mid-flight.
+    source:
+        Path to a packed graph file to count instead of ``graph``
+        (opened zero-copy through ``mmap``); pass ``graph=None``.
+    shard_budget:
+        Maximum own edges per time shard: exact algorithms run through
+        the out-of-core shard-halo union of
+        :mod:`repro.storage.sharded` with peak memory proportional to
+        this budget.  Results are bit-identical to the in-memory path.
     params:
         Algorithm-specific extras declared in the registry, e.g.
         ``q=0.3, window_factor=5.0`` for BTS or ``p=0.01, q=1.0`` for
@@ -143,6 +157,17 @@ def count_motifs(
         sampling algorithms), ``elapsed_seconds``, ``phase_seconds``
         and provenance metadata filled in.
     """
+    if isinstance(graph, (str, os.PathLike)):
+        # Path sugar: count_motifs("graph.rgz", delta) == source=.
+        if source is not None:
+            raise ValidationError("pass a packed path as graph OR source, not both")
+        graph, source = None, os.fspath(graph)
+    elif graph is not None and not isinstance(graph, (TemporalGraph, CountRequest)):
+        # An open PackedGraph (duck-typed to avoid importing storage
+        # on every count): count its mmap-backed graph object.
+        inner = getattr(graph, "graph", None)
+        if isinstance(inner, TemporalGraph):
+            graph = inner
     if isinstance(graph, CountRequest):
         overrides = {
             "delta": delta is not None,
@@ -158,6 +183,8 @@ def count_motifs(
             "start_method": start_method is not None,
             "request_id": request_id is not None,
             "deadline": deadline is not None,
+            "source": source is not None,
+            "shard_budget": shard_budget is not None,
             "params": bool(params),
         }
         given = sorted(name for name, set_ in overrides.items() if set_)
@@ -182,6 +209,8 @@ def count_motifs(
         start_method=start_method,
         request_id=request_id,
         deadline=deadline,
+        source=source,
+        shard_budget=shard_budget,
         params=dict(params),
     )
     return execute(request)

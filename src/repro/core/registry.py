@@ -123,8 +123,8 @@ class CountRequest:
     :meth:`resolve` once the :class:`AlgorithmSpec` is known.
     """
 
-    graph: "TemporalGraph"
-    delta: float
+    graph: Optional["TemporalGraph"] = None
+    delta: Optional[float] = None
     algorithm: str = "fast"
     categories: str = "all"
     workers: int = 1
@@ -156,9 +156,32 @@ class CountRequest:
     #: default) means no deadline.  An execution knob like ``pool``:
     #: excluded from equality and from every result cache key.
     deadline: Optional[float] = field(default=None, compare=False)
+    #: Path to a packed graph file (``repro pack`` output) to count
+    #: instead of an in-memory ``graph``: :func:`execute` opens it
+    #: zero-copy through :func:`repro.storage.format.open_packed`
+    #: before dispatch.  Exactly one of ``graph``/``source`` must be
+    #: given by callers (a materialized request carries both).
+    source: Optional[str] = None
+    #: Out-of-core execution knob: maximum *own* edges per time shard.
+    #: When set, exact algorithms run through the shard-halo union of
+    #: :mod:`repro.storage.sharded` — peak memory tracks this budget,
+    #: results stay bit-identical.  Sampling algorithms ignore it
+    #: (recorded in ``meta["sharding"]``) because their global RNG
+    #: stream does not decompose.
+    shard_budget: Optional[int] = None
     params: Dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        if self.graph is None and self.source is None:
+            raise ValidationError("a CountRequest needs a graph or a source path")
+        if self.source is not None:
+            import os
+
+            self.source = os.fspath(self.source)
+        if self.shard_budget is not None and self.shard_budget < 1:
+            raise ValidationError(
+                f"shard_budget must be >= 1, got {self.shard_budget}"
+            )
         if self.delta is None or self.delta < 0:
             raise ValidationError(f"delta must be non-negative, got {self.delta}")
         if self.backend not in BACKENDS:
@@ -567,11 +590,22 @@ def execute(request: CountRequest) -> "MotifCounts":
     from repro.core.counters import MotifCounts
 
     spec = get_algorithm(request.algorithm)
+    if request.graph is None:
+        # Materialize a packed-file source into a zero-copy mmap-backed
+        # graph; ``source`` is kept on the request for provenance.
+        from repro.storage.format import open_packed
+
+        request = dataclasses.replace(request, graph=open_packed(request.source).graph)
     req = request.resolve(spec)
     req.check_deadline()
     start = time.perf_counter()
     if req.n_samples == 1:
-        result = spec.func(req)
+        if req.shard_budget is not None and spec.is_exact:
+            from repro.storage.sharded import sharded_count
+
+            result = sharded_count(req, spec)
+        else:
+            result = spec.func(req)
         result.is_exact = spec.is_exact
     else:
         from repro.core.counters import category_keep_mask
@@ -621,6 +655,13 @@ def execute(request: CountRequest) -> "MotifCounts":
         result.algorithm = req.algorithm
     result.meta.setdefault("requested_algorithm", req.algorithm)
     result.meta.setdefault("backend", req.backend)
+    if req.source is not None:
+        result.meta.setdefault("source", req.source)
+    if req.shard_budget is not None and not spec.is_exact:
+        result.meta.setdefault(
+            "sharding",
+            "whole-graph (sampling estimators draw one global RNG stream)",
+        )
     if req.request_id is not None:
         result.meta.setdefault("request_id", req.request_id)
     if not spec.is_exact:

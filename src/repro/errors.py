@@ -56,6 +56,26 @@ class BackpressureError(ReproError, RuntimeError):
     """
 
 
+class StorageFormatError(ReproError, ValueError):
+    """A packed graph file is corrupt, truncated, or not a packed graph.
+
+    Raised by :func:`repro.storage.format.open_packed` whenever the
+    on-disk bytes fail validation — bad magic, mangled header, section
+    bounds past EOF, non-finite or unsorted timestamps, out-of-range
+    node ids.  The open path validates before any counting can start,
+    so corruption surfaces as this typed error, never as garbage
+    counts.
+    """
+
+
+class StorageVersionError(StorageFormatError):
+    """A packed graph file declares a format version this build cannot read.
+
+    Distinct from generic corruption so callers can suggest re-packing
+    (``repro pack``) instead of treating the file as damaged.
+    """
+
+
 class UnknownGraphError(ReproError, KeyError):
     """A request named a graph the serving catalog does not hold."""
 

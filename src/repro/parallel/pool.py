@@ -1000,7 +1000,9 @@ class WorkerPool:
             try:
                 message = self._result_q.get(timeout=timeout)
             except queue.Empty:
-                dead = [p.name for p in self._procs if not p.is_alive()]
+                dead = [
+                    (p.name, p.exitcode) for p in self._procs if not p.is_alive()
+                ]
                 if dead:
                     self._closed = True
                     raise ParallelExecutionError(
@@ -1081,8 +1083,8 @@ def close_all_pools() -> None:
             pass
 
 
-#: Signals whose handlers this module already wrapped (idempotence).
-_INSTALLED_SIGNALS: set = set()
+#: signum -> pid that installed the wrapper (idempotence per process).
+_INSTALLED_SIGNALS: Dict[int, int] = {}
 
 
 def install_signal_handlers(signals: Optional[Tuple[int, ...]] = None) -> None:
@@ -1098,20 +1100,32 @@ def install_signal_handlers(signals: Optional[Tuple[int, ...]] = None) -> None:
     a default-disposition signal is re-raised under ``SIG_DFL`` so the
     process still dies with the correct signal status.
 
-    Idempotent per signal; only the main thread may call it (a
-    :mod:`signal` restriction).
+    The handler is **fork-safe**: it remembers the installing PID and
+    only closes pools when it fires in that exact process.  Forked
+    children (fork-method workers, ``fork-per-call`` helpers — whom
+    ``multiprocessing.Pool.terminate`` SIGTERMs as routine teardown)
+    inherit both the handler and the parent's pool registry; running
+    ``close_all_pools`` there would push stop sentinels onto the
+    *shared* task queues and unlink the parent's live ``/dev/shm``
+    segments, killing every sibling pool from the outside.  In a
+    non-installing process the handler only chains.
+
+    Idempotent per signal per process; only the main thread may call
+    it (a :mod:`signal` restriction).
     """
     import signal as signal_module
 
     if signals is None:
         signals = (signal_module.SIGTERM, signal_module.SIGINT)
+    owner_pid = os.getpid()
     for signum in signals:
-        if signum in _INSTALLED_SIGNALS:
+        if _INSTALLED_SIGNALS.get(signum) == owner_pid:
             continue
         previous = signal_module.getsignal(signum)
 
-        def _handler(num, frame, _previous=previous):
-            close_all_pools()
+        def _handler(num, frame, _previous=previous, _owner=owner_pid):
+            if os.getpid() == _owner:
+                close_all_pools()
             if callable(_previous):
                 _previous(num, frame)
             elif _previous is not signal_module.SIG_IGN:
@@ -1119,4 +1133,4 @@ def install_signal_handlers(signals: Optional[Tuple[int, ...]] = None) -> None:
                 os.kill(os.getpid(), num)
 
         signal_module.signal(signum, _handler)
-        _INSTALLED_SIGNALS.add(signum)
+        _INSTALLED_SIGNALS[signum] = owner_pid

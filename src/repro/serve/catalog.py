@@ -156,9 +156,19 @@ class GraphCatalog:
 
     # -- management -----------------------------------------------------
     def add(self, name: str, source) -> None:
-        """Register ``source`` (static graph or live store) as ``name``."""
+        """Register ``source`` as ``name``.
+
+        Accepts a static :class:`TemporalGraph`, a live store, or an
+        open :class:`~repro.storage.format.PackedGraph` (an on-disk
+        packed graph: its mmap-backed graph object is what gets
+        served; the mapping stays pinned by the arrays themselves).
+        """
         if not name or not isinstance(name, str):
             raise ValidationError(f"graph name must be a non-empty string, got {name!r}")
+        from repro.storage.format import PackedGraph
+
+        if isinstance(source, PackedGraph):
+            source = source.graph
         store = getattr(source, "store", source)
         is_live = hasattr(store, "live_graph") and hasattr(store, "version")
         if not is_live and not isinstance(source, TemporalGraph):

@@ -181,7 +181,13 @@ class MotifService:
     def add_graph(self, name: str, source) -> None:
         """Register a graph; static graphs are pinned into the pool."""
         from repro.graph.temporal_graph import TemporalGraph
+        from repro.storage.format import PackedGraph
 
+        if isinstance(source, PackedGraph):
+            # Serve the packed file's mmap-backed graph; publication
+            # below copies it into pool shared memory exactly like an
+            # in-memory graph.
+            source = source.graph
         self.catalog.add(name, source)
         if isinstance(source, TemporalGraph) and not self.pool.closed:
             # Static graphs never reload; publish (pinned) now so the

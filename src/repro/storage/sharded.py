@@ -1,0 +1,307 @@
+"""Time-sharded counting with δ-overlap halos (out-of-core execution).
+
+The decomposition behind ROADMAP item 2: split the canonical edge
+sequence at cut points ``0 = c_0 < c_1 < ... < c_k = m``, give shard
+``i`` the *slice* ``S_i = [c_i, E_i)`` where::
+
+    E_i = searchsorted(t, t[c_{i+1} - 1] + delta, side="right")
+
+(``E_{k-1} = m`` for the last shard) — its own edges plus the δ-overlap
+**halo** ``H_i = [c_{i+1}, E_i)`` — count every slice independently
+with any exact registered algorithm, and union by subtracting the halo
+double counts::
+
+    total = sum_i count(S_i) - sum_i count(H_i)
+
+Why this is exact, for *any* cut points: classify each δ-motif
+instance (canonical edge triple ``e1 < e2 < e3``) by its earliest edge.
+The owner shard ``j`` (``c_j <= e1 < c_{j+1}``) always counts it —
+``t[e3] <= t[e1] + delta <= t[c_{j+1}-1] + delta``, so ``e3 < E_j`` and
+the whole triple lies in ``S_j``.  A non-owner slice ``i < j`` counts
+it iff ``e3 < E_i``; but then the triple also lies entirely inside the
+halo ``H_i`` (``e1 >= c_j >= c_{i+1}``), so the subtraction cancels it
+— and shards after the owner never see ``e1`` at all.  Net count: one.
+The identity holds cell-by-cell on the deduplicated 6×6 grid because
+the grid is linear in the triple multiset, and each slice is a
+complete pass over a contiguous canonical range (slicing preserves
+relative canonical order and tie-breaking, so every exact backend —
+fast/HARE, ex, bruteforce, bt, twoscent, python or columnar — produces
+its whole-graph answer restricted to the slice).
+
+Sampling estimators (``bts``/``ews``) do not decompose: they draw one
+global RNG stream anchored at ``times[0]`` over the whole block range,
+so per-shard runs cannot reproduce a fixed-seed whole-graph estimate.
+:meth:`ShardedGraph.count` therefore routes them through the
+whole-graph view unchanged (trivially bit-identical — the mmap-backed
+arrays equal the in-memory ones) and records the passthrough in
+``meta["sharding"]``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.graph.temporal_graph import TemporalGraph
+
+#: Default shard budget (own edges per shard) when none is specified.
+DEFAULT_SHARD_EDGES = 1 << 20
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One planned slice: own range ``[own_lo, own_hi)`` plus halo."""
+
+    index: int
+    own_lo: int
+    own_hi: int
+    halo_hi: int
+
+    @property
+    def own_edges(self) -> int:
+        return self.own_hi - self.own_lo
+
+    @property
+    def halo_edges(self) -> int:
+        return self.halo_hi - self.own_hi
+
+    @property
+    def slice_edges(self) -> int:
+        return self.halo_hi - self.own_lo
+
+
+class ShardedGraph:
+    """Shard-halo counting facade over one graph (see module docstring).
+
+    ``source`` is a :class:`TemporalGraph` or an open
+    :class:`~repro.storage.format.PackedGraph` (the out-of-core case:
+    slices then view disjoint ranges of the mmap, so peak RSS tracks
+    the shard budget, not the file size).  Exactly one sharding spec
+    may be given:
+
+    ``max_shard_edges``
+        Budget of *own* edges per shard (default
+        :data:`DEFAULT_SHARD_EDGES`); cut points every that many edges.
+    ``num_shards``
+        Split the edge sequence into that many near-equal shards.
+    ``boundaries``
+        Explicit interior canonical-edge-id cut points, strictly
+        increasing inside ``(0, num_edges)`` — what the equivalence
+        property tests randomize over.
+    """
+
+    def __init__(
+        self,
+        source,
+        *,
+        max_shard_edges: Optional[int] = None,
+        num_shards: Optional[int] = None,
+        boundaries: Optional[Sequence[int]] = None,
+    ) -> None:
+        graph = getattr(source, "graph", source)
+        if not isinstance(graph, TemporalGraph):
+            raise ValidationError(
+                f"ShardedGraph needs a TemporalGraph or PackedGraph, "
+                f"got {type(source).__name__}"
+            )
+        given = sum(x is not None for x in (max_shard_edges, num_shards, boundaries))
+        if given > 1:
+            raise ValidationError(
+                "give at most one of max_shard_edges / num_shards / boundaries"
+            )
+        self.graph = graph
+        m = graph.num_edges
+        if boundaries is not None:
+            cuts = [int(b) for b in boundaries]
+            if any(b <= 0 or b >= m for b in cuts) or any(
+                b2 <= b1 for b1, b2 in zip(cuts, cuts[1:])
+            ):
+                raise ValidationError(
+                    f"boundaries must be strictly increasing interior edge ids "
+                    f"in (0, {m}), got {boundaries!r}"
+                )
+            self._cuts = [0] + cuts + [m]
+        elif num_shards is not None:
+            if num_shards < 1:
+                raise ValidationError(f"num_shards must be >= 1, got {num_shards}")
+            k = min(int(num_shards), max(m, 1))
+            edges = np.linspace(0, m, k + 1).astype(np.int64)
+            self._cuts = sorted(set(int(c) for c in edges)) if m else [0, 0]
+        else:
+            budget = DEFAULT_SHARD_EDGES if max_shard_edges is None else int(max_shard_edges)
+            if budget < 1:
+                raise ValidationError(f"max_shard_edges must be >= 1, got {budget}")
+            self.max_shard_edges = budget
+            self._cuts = list(range(0, m, budget)) + [m] if m else [0, 0]
+            return
+        self.max_shard_edges = max(
+            b2 - b1 for b1, b2 in zip(self._cuts, self._cuts[1:])
+        ) if m else 0
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._cuts) - 1
+
+    def plan(self, delta: float) -> List[Shard]:
+        """The shard slices for one δ: own ranges plus halo extents."""
+        if delta is None or delta < 0:
+            raise ValidationError(f"delta must be non-negative, got {delta}")
+        t = self.graph.timestamps
+        m = self.graph.num_edges
+        shards: List[Shard] = []
+        for i, (lo, hi) in enumerate(zip(self._cuts, self._cuts[1:])):
+            if hi >= m:
+                halo_hi = m
+            else:
+                halo_hi = int(np.searchsorted(t, t[hi - 1] + delta, side="right"))
+            shards.append(Shard(index=i, own_lo=lo, own_hi=hi, halo_hi=halo_hi))
+        return shards
+
+    def _slice_graph(self, lo: int, hi: int) -> TemporalGraph:
+        """Zero-copy graph over canonical edge ids ``[lo, hi)``.
+
+        Slicing contiguous canonical ranges preserves sortedness and
+        tie-breaking, so the result is itself canonical; node ids keep
+        the parent's space (``num_nodes`` unchanged) so no relabeling
+        is needed anywhere.
+        """
+        g = self.graph
+        return TemporalGraph.from_canonical_arrays(
+            g.sources[lo:hi],
+            g.destinations[lo:hi],
+            g.timestamps[lo:hi],
+            num_nodes=g.num_nodes,
+        )
+
+    # ------------------------------------------------------------------
+    # counting
+    # ------------------------------------------------------------------
+    def count(
+        self,
+        delta: float,
+        *,
+        algorithm: str = "fast",
+        categories: str = "all",
+        workers: int = 1,
+        thrd: Optional[float] = None,
+        schedule: str = "dynamic",
+        seed: Optional[int] = None,
+        n_samples: Optional[int] = None,
+        backend: str = "auto",
+        start_method: Optional[str] = None,
+        deadline: Optional[float] = None,
+        **params: object,
+    ):
+        """Count motifs via the shard-halo union (exact algorithms).
+
+        Sampling algorithms run on the whole-graph view instead (see
+        the module docstring) so fixed-seed estimates stay bit-identical
+        to the in-memory path.
+        """
+        from repro.core.registry import CountRequest, execute, get_algorithm
+
+        spec = get_algorithm(algorithm)
+        base = CountRequest(
+            graph=self.graph,
+            delta=delta,
+            algorithm=algorithm,
+            categories=categories,
+            workers=workers,
+            thrd=thrd,
+            schedule=schedule,
+            seed=seed,
+            n_samples=n_samples,
+            backend=backend,
+            start_method=start_method,
+            deadline=deadline,
+            params=dict(params),
+        )
+        if not spec.is_exact:
+            result = execute(base)
+            result.meta["sharding"] = (
+                "whole-graph (sampling estimators draw one global RNG stream)"
+            )
+            return result
+        return sharded_count(base.resolve(spec), spec, sharded=self)
+
+
+def sharded_count(request, spec, *, sharded: Optional[ShardedGraph] = None):
+    """Run a *resolved* exact :class:`CountRequest` via the halo union.
+
+    The registry's shard-budget routing target: builds (or reuses) the
+    :class:`ShardedGraph`, dispatches one registry execution per slice
+    and per non-empty halo, and accumulates ``ΣS − ΣH`` into one grid.
+    Slice requests inherit every execution knob except ``pool`` (a
+    persistent pool would accumulate one shared-memory publication per
+    transient slice) and the sampling fields (meaningless for exact
+    algorithms once resolved).
+    """
+    from repro.core.counters import MotifCounts
+    from repro.core.registry import execute
+
+    if sharded is None:
+        sharded = ShardedGraph(request.graph, max_shard_edges=request.shard_budget)
+    start = time.perf_counter()
+    plan = sharded.plan(request.delta)
+    total = np.zeros((6, 6), dtype=np.int64)
+    phases = {"pack_slices": 0.0}
+    halo_edges = 0
+    slice_runs = 0
+
+    def _run(lo: int, hi: int) -> Optional[np.ndarray]:
+        nonlocal slice_runs
+        if hi - lo < 3:
+            return None
+        tick = time.perf_counter()
+        piece = sharded._slice_graph(lo, hi)
+        phases["pack_slices"] += time.perf_counter() - tick
+        sub = execute(
+            dataclasses.replace(
+                request,
+                graph=piece,
+                source=None,
+                shard_budget=None,
+                seed=None,
+                n_samples=None,
+                pool=None,
+                request_id=None,
+            )
+        )
+        slice_runs += 1
+        for phase, seconds in sub.phase_seconds.items():
+            phases[phase] = phases.get(phase, 0.0) + seconds
+        return np.rint(np.asarray(sub.grid)).astype(np.int64)
+
+    for shard in plan:
+        request.check_deadline()
+        halo_edges += shard.halo_edges
+        own = _run(shard.own_lo, shard.halo_hi)
+        if own is not None:
+            total += own
+        halo = _run(shard.own_hi, shard.halo_hi)
+        if halo is not None:
+            total -= halo
+
+    assert not np.any(total < 0), "halo union produced a negative cell (bug)"
+    result = MotifCounts(
+        total,
+        algorithm=request.algorithm,
+        is_exact=True,
+        phase_seconds=phases,
+        meta={
+            "sharding": "halo-union",
+            "shards": sharded.num_shards,
+            "slice_runs": slice_runs,
+            "halo_edges": halo_edges,
+            "max_slice_edges": max((s.slice_edges for s in plan), default=0),
+            "shard_budget": sharded.max_shard_edges,
+        },
+    )
+    result.delta = request.delta
+    result.elapsed_seconds = time.perf_counter() - start
+    return result

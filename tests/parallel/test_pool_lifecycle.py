@@ -93,6 +93,61 @@ def test_sigterm_unlinks_shared_memory_segments():
             proc.wait(timeout=30)
 
 
+_FORK_SAFETY_SCRIPT = """
+import multiprocessing, random, time
+from repro.graph.temporal_graph import TemporalGraph
+from repro.parallel.pool import WorkerPool, install_signal_handlers
+from tests.conftest import random_edges
+
+install_signal_handlers()
+rng = random.Random(5)
+graph = TemporalGraph(random_edges(rng, 30, 400, t_max=200))
+pool = WorkerPool(2)
+batches = pool.plan_batches(graph)
+star, _, tri = pool.run_batches(graph, 20.0, batches)
+before = (star.total(), tri.total())
+
+# multiprocessing.Pool.__exit__ -> terminate() SIGTERMs its fork
+# children as routine teardown.  Those children inherit both the
+# installed handler and this process's pool registry: a non-fork-safe
+# handler would close the inherited WorkerPool from inside the child,
+# pushing stop sentinels onto the *shared* task queue and unlinking
+# the live /dev/shm segments.
+ctx = multiprocessing.get_context("fork")
+with ctx.Pool(processes=2) as helper:
+    helper.map(abs, [1, 2, 3])
+time.sleep(1.0)  # let any poisoned sentinel reach the workers
+
+star2, _, tri2 = pool.run_batches(graph, 20.0, batches, reuse=False)
+assert not pool.closed, "pool closed by a forked child's signal handler"
+assert (star2.total(), tri2.total()) == before
+pool.close()
+print("OK", flush=True)
+"""
+
+
+def test_signal_handlers_survive_forked_helper_teardown():
+    """Forked helpers SIGTERMed by ``Pool.terminate`` must not close pools.
+
+    Regression: the fork-per-call runtime tears its helpers down with
+    SIGTERM; the inherited shutdown handler used to run
+    ``close_all_pools`` *inside the child*, killing every sibling pool
+    in the parent through the shared queues and segments.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + os.pathsep + REPO_ROOT
+    proc = subprocess.run(
+        [sys.executable, "-c", _FORK_SAFETY_SCRIPT],
+        capture_output=True,
+        env=env,
+        cwd=REPO_ROOT,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "OK" in proc.stdout
+
+
 # ---------------------------------------------------------------------------
 # idle-worker timeout (satellite 1)
 # ---------------------------------------------------------------------------

@@ -1,0 +1,189 @@
+"""Shard-equivalence properties: halo-unioned counts == whole-graph counts.
+
+The correctness pin for :mod:`repro.storage.sharded`: for *random* δ
+and *random* shard boundaries, the ΣS − ΣH halo union must be
+bit-identical to the whole-graph count on every registered algorithm —
+the four full-grid exact algorithms and ``twoscent`` through the
+per-slice decomposition, and the fixed-seed ``bts``/``ews`` estimates
+through the documented whole-graph passthrough.
+"""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.api import count_motifs
+from repro.core.registry import CountRequest, execute
+from repro.errors import ValidationError
+from repro.graph.temporal_graph import TemporalGraph
+from repro.storage import ShardedGraph, open_packed, pack_graph
+from tests.conftest import random_graph
+from tests.core.test_properties import deltas, temporal_graphs
+
+EXACT = ("fast", "ex", "bruteforce", "bt", "twoscent")
+SAMPLING = ("bts", "ews")
+
+
+def _draw_boundaries(data, m):
+    """Random interior cut points for a graph with ``m`` edges."""
+    if m < 2:
+        return []
+    k = data.draw(st.integers(min_value=0, max_value=min(4, m - 1)))
+    return sorted(
+        data.draw(
+            st.sets(st.integers(1, m - 1), min_size=k, max_size=k)
+        )
+    )
+
+
+class TestHaloUnionEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(graph=temporal_graphs(max_edges=22), delta=deltas, data=st.data())
+    def test_random_boundaries_all_exact_algorithms(self, graph, delta, data):
+        cuts = _draw_boundaries(data, graph.num_edges)
+        sharded = (
+            ShardedGraph(graph, boundaries=cuts)
+            if cuts
+            else ShardedGraph(graph, num_shards=1)
+        )
+        for algorithm in EXACT:
+            whole = count_motifs(graph, delta, algorithm=algorithm)
+            pieces = sharded.count(delta, algorithm=algorithm)
+            assert np.array_equal(whole.grid, pieces.grid), (algorithm, cuts)
+            assert pieces.is_exact
+
+    @settings(max_examples=12, deadline=None)
+    @given(graph=temporal_graphs(max_edges=22), delta=deltas, data=st.data())
+    def test_random_boundaries_fixed_seed_sampling(self, graph, delta, data):
+        cuts = _draw_boundaries(data, graph.num_edges)
+        sharded = (
+            ShardedGraph(graph, boundaries=cuts)
+            if cuts
+            else ShardedGraph(graph, num_shards=1)
+        )
+        for algorithm in SAMPLING:
+            whole = count_motifs(
+                graph, delta, algorithm=algorithm, seed=11, n_samples=2
+            )
+            pieces = sharded.count(
+                delta, algorithm=algorithm, seed=11, n_samples=2
+            )
+            assert np.array_equal(whole.grid, pieces.grid), algorithm
+            assert "sharding" in pieces.meta
+
+    @settings(max_examples=10, deadline=None)
+    @given(graph=temporal_graphs(max_edges=24), delta=deltas,
+           budget=st.integers(min_value=1, max_value=30))
+    def test_budget_sharding_matches(self, graph, delta, budget):
+        whole = count_motifs(graph, delta)
+        pieces = ShardedGraph(graph, max_shard_edges=budget).count(delta)
+        assert np.array_equal(whole.grid, pieces.grid), budget
+
+    def test_backends_and_categories_through_shards(self):
+        graph = random_graph(seed=2, num_nodes=10, num_edges=80, t_max=30)
+        sharded = ShardedGraph(graph, max_shard_edges=17)
+        for backend in ("python", "columnar"):
+            for categories in ("all", "star", "pair", "triangle", "star_pair"):
+                whole = count_motifs(
+                    graph, 9, backend=backend, categories=categories
+                )
+                pieces = sharded.count(9, backend=backend, categories=categories)
+                assert np.array_equal(whole.grid, pieces.grid), (backend, categories)
+
+    def test_parallel_slices_match(self):
+        graph = random_graph(seed=6, num_nodes=10, num_edges=90, t_max=40)
+        whole = count_motifs(graph, 12)
+        pieces = ShardedGraph(graph, max_shard_edges=25).count(
+            12, workers=2, start_method="fork"
+        )
+        assert np.array_equal(whole.grid, pieces.grid)
+
+
+class TestPlanning:
+    def test_plan_partitions_and_respects_budget(self):
+        graph = random_graph(seed=4, num_nodes=10, num_edges=103, t_max=50)
+        sharded = ShardedGraph(graph, max_shard_edges=20)
+        plan = sharded.plan(7)
+        assert plan[0].own_lo == 0
+        assert plan[-1].own_hi == graph.num_edges
+        assert plan[-1].halo_hi == graph.num_edges
+        t = graph.timestamps
+        for a, b in zip(plan, plan[1:]):
+            assert a.own_hi == b.own_lo  # own ranges partition [0, m)
+        for shard in plan:
+            assert 0 < shard.own_edges <= 20
+            assert shard.halo_hi >= shard.own_hi
+            if shard.halo_edges:
+                # Every halo edge is inside the δ-window of some own edge.
+                assert t[shard.halo_hi - 1] <= t[shard.own_hi - 1] + 7
+
+    def test_num_shards_split(self):
+        graph = random_graph(seed=4, num_nodes=8, num_edges=40, t_max=20)
+        sharded = ShardedGraph(graph, num_shards=4)
+        assert sharded.num_shards == 4
+        assert sum(s.own_edges for s in sharded.plan(3)) == 40
+
+    def test_sharded_over_packed_graph(self, tmp_path):
+        graph = random_graph(seed=8, num_nodes=12, num_edges=100, t_max=35)
+        path = str(tmp_path / "g.rgz")
+        pack_graph(graph, path)
+        packed = open_packed(path)
+        whole = count_motifs(graph, 10)
+        pieces = ShardedGraph(packed, max_shard_edges=30).count(10)
+        assert np.array_equal(whole.grid, pieces.grid)
+        assert pieces.meta["sharding"] == "halo-union"
+
+    def test_meta_provenance(self):
+        graph = random_graph(seed=1, num_nodes=8, num_edges=50, t_max=25)
+        result = ShardedGraph(graph, max_shard_edges=13).count(6)
+        meta = result.meta
+        assert meta["sharding"] == "halo-union"
+        assert meta["shards"] == 4
+        assert meta["shard_budget"] == 13
+        assert meta["halo_edges"] >= 0
+        assert meta["slice_runs"] >= meta["shards"]
+        assert meta["max_slice_edges"] <= 13 + meta["halo_edges"]
+
+    def test_registry_shard_budget_routing(self):
+        graph = random_graph(seed=3, num_nodes=9, num_edges=70, t_max=30)
+        whole = execute(CountRequest(graph=graph, delta=8.0))
+        routed = execute(CountRequest(graph=graph, delta=8.0, shard_budget=15))
+        assert np.array_equal(whole.grid, routed.grid)
+        assert routed.meta["sharding"] == "halo-union"
+
+    def test_empty_and_tiny_graphs(self):
+        assert ShardedGraph(TemporalGraph([]), max_shard_edges=5).count(3).total() == 0
+        tiny = TemporalGraph([(0, 1, 0), (1, 2, 1)])
+        assert ShardedGraph(tiny, num_shards=5).count(3).total() == 0
+
+
+class TestValidation:
+    def test_bad_boundaries(self):
+        graph = random_graph(seed=0, num_nodes=6, num_edges=20, t_max=10)
+        for bad in ([0], [20], [5, 5], [7, 3], [-1]):
+            with pytest.raises(ValidationError):
+                ShardedGraph(graph, boundaries=bad)
+
+    def test_conflicting_specs(self):
+        graph = random_graph(seed=0, num_nodes=6, num_edges=20, t_max=10)
+        with pytest.raises(ValidationError):
+            ShardedGraph(graph, max_shard_edges=5, num_shards=2)
+
+    def test_bad_budget_and_shards(self):
+        graph = random_graph(seed=0, num_nodes=6, num_edges=20, t_max=10)
+        with pytest.raises(ValidationError):
+            ShardedGraph(graph, max_shard_edges=0)
+        with pytest.raises(ValidationError):
+            ShardedGraph(graph, num_shards=0)
+        with pytest.raises(ValidationError):
+            ShardedGraph("nope")
+        with pytest.raises(ValidationError):
+            ShardedGraph(graph).plan(-1)
+
+    def test_request_validation(self):
+        graph = random_graph(seed=0, num_nodes=6, num_edges=20, t_max=10)
+        with pytest.raises(ValidationError):
+            CountRequest(graph=graph, delta=5.0, shard_budget=0)
+        with pytest.raises(ValidationError):
+            CountRequest(delta=5.0)  # neither graph nor source

@@ -38,6 +38,7 @@ from repro.graph.generators import (
 )
 from repro.graph.temporal_graph import TemporalGraph
 from repro.parallel.pool import WorkerPool
+from repro.storage import open_packed, pack_graph
 from tests.conftest import random_graph
 from tests.core.test_properties import deltas, temporal_graphs
 
@@ -191,6 +192,84 @@ class TestHypothesisConformance:
                 graph, delta, algorithm=algorithm, backend="columnar", **SAMPLING_KWARGS
             )
             assert np.array_equal(py.grid, col.grid), algorithm
+
+
+@pytest.fixture(scope="module")
+def packed_corpus(tmp_path_factory, corpus):
+    """Every corpus graph packed once (full layout) into a temp dir."""
+    graphs, _ = corpus
+    root = tmp_path_factory.mktemp("packed")
+    paths = {}
+    for name, graph in graphs.items():
+        path = str(root / f"{name}.rgz")
+        pack_graph(graph, path)
+        paths[name] = path
+    return paths
+
+
+class TestMmapSourceConformance:
+    """The ``mmap`` source axis: packed-file graphs through the matrix.
+
+    A graph reopened zero-copy from a packed file must be
+    indistinguishable from the in-memory original on every execution
+    path — python/columnar kernels, serial and persistent-pool
+    runtimes under both start methods, the ``source=`` request
+    threading, and the out-of-core shard-halo route.
+    """
+
+    @pytest.mark.parametrize("graph_name", sorted(GRAPH_BUILDERS))
+    @pytest.mark.parametrize("delta", DELTAS)
+    def test_packed_equals_reference(
+        self, corpus, pools, packed_corpus, graph_name, delta
+    ):
+        _, references = corpus
+        reference = references[(graph_name, delta)]
+        with open_packed(packed_corpus[graph_name]) as packed:
+            for label, kwargs in (
+                ("serial-python", {"backend": "python"}),
+                ("serial-columnar", {"backend": "columnar"}),
+                ("pool-fork", {"workers": 2, "pool": pools["fork"], "backend": "columnar"}),
+                ("pool-spawn", {"workers": 2, "pool": pools["spawn"], "backend": "columnar"}),
+            ):
+                result = count_motifs(packed.graph, delta, **kwargs)
+                assert result.same_counts(reference), label
+                assert result.is_exact
+
+    @pytest.mark.parametrize("graph_name", sorted(GRAPH_BUILDERS))
+    def test_source_request_threading(self, corpus, packed_corpus, graph_name):
+        """``source=`` spec (fresh open inside execute) and shard budgets."""
+        _, references = corpus
+        reference = references[(graph_name, 4)]
+        plain = count_motifs(None, 4, source=packed_corpus[graph_name])
+        assert plain.same_counts(reference)
+        assert plain.meta["source"] == packed_corpus[graph_name]
+        sharded = count_motifs(
+            None, 4, source=packed_corpus[graph_name], shard_budget=16
+        )
+        assert sharded.same_counts(reference)
+        assert sharded.meta["sharding"] == "halo-union"
+
+    def test_sampling_over_packed_source(self, corpus, packed_corpus):
+        graphs, _ = corpus
+        for algorithm in SAMPLING:
+            baseline = count_motifs(
+                graphs["ties"], 4, algorithm=algorithm, backend="python",
+                **SAMPLING_KWARGS,
+            )
+            result = count_motifs(
+                None, 4, source=packed_corpus["ties"], algorithm=algorithm,
+                backend="python", **SAMPLING_KWARGS,
+            )
+            assert np.array_equal(result.grid, baseline.grid), algorithm
+
+    def test_edges_layout_equals_full(self, corpus, packed_corpus, tmp_path):
+        """The edges-only layout rebuilds columnar arrays to the same counts."""
+        graphs, references = corpus
+        path = str(tmp_path / "ties-edges.rgz")
+        pack_graph(graphs["ties"], path, layout="edges")
+        for delta in DELTAS:
+            result = count_motifs(None, delta, source=path, backend="columnar")
+            assert result.same_counts(references[("ties", delta)])
 
 
 class TestPoolStaysExactOverSessions:

@@ -35,6 +35,10 @@ def iter_speedups(entry: dict, prefix: str = "") -> Iterator[Tuple[str, float]]:
         elif key == "speedup" or key.startswith("speedup_"):
             if value is None:
                 continue
+            try:
+                speedup = float(value)
+            except (TypeError, ValueError):
+                continue
             label = prefix + key
             if label.endswith(".speedup"):
                 label = label[: -len(".speedup")]
@@ -42,27 +46,44 @@ def iter_speedups(entry: dict, prefix: str = "") -> Iterator[Tuple[str, float]]:
                 label = "overall"
             else:
                 label = label.replace("speedup_", "")
-            yield label, float(value)
+            yield label, speedup
 
 
 def collect(bench_dir: pathlib.Path) -> List[Tuple[str, str, int, str, float]]:
     """(benchmark, description, edges, metric, speedup) rows, sorted."""
     rows: List[Tuple[str, str, int, str, float]] = []
+    if not bench_dir.is_dir():
+        print(f"warning: no benchmark directory at {bench_dir}", file=sys.stderr)
+        return rows
     for path in sorted(bench_dir.glob("BENCH_*.json")):
         try:
             payload = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError) as exc:
             print(f"warning: skipping {path.name}: {exc}", file=sys.stderr)
             continue
+        if not isinstance(payload, dict):
+            print(
+                f"warning: skipping {path.name}: top level is "
+                f"{type(payload).__name__}, expected object",
+                file=sys.stderr,
+            )
+            continue
         name = path.stem[len("BENCH_"):]
         description = str(payload.get("description", ""))
         results = payload.get("results", [])
         if not isinstance(results, list):
+            print(
+                f"warning: skipping {path.name}: 'results' is not a list",
+                file=sys.stderr,
+            )
             continue
         for entry in results:
             if not isinstance(entry, dict):
                 continue
-            edges = int(entry.get("edges", 0))
+            try:
+                edges = int(entry.get("edges", 0))
+            except (TypeError, ValueError):
+                edges = 0
             for metric, value in iter_speedups(entry):
                 rows.append((name, description, edges, metric, value))
     return rows
