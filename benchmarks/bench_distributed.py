@@ -1,0 +1,299 @@
+#!/usr/bin/env python
+"""Distributed shard execution benchmark: 1 vs 2 vs 4 localhost workers.
+
+Measures what the coordinator/worker runtime exists for: the shard
+phase of a packed-graph count farming out across worker daemons.  One
+fixed shard plan (so the work is identical at every cluster size) is
+executed on clusters of 1, 2 and 4 ``repro worker`` subprocesses, all
+holding the packed file (the count-by-reference placement path), and
+every distributed grid is asserted bit-identical to the serial
+:class:`~repro.storage.sharded.ShardedGraph` count of the same plan.
+
+Per entry:
+
+* **speedup** — wall-clock of the 1-worker cluster over this cluster
+  size (the shard-phase scaling claim; 1.0 by definition at 1 worker).
+* **speedup_vs_serial** — the serial in-process shard union over this
+  cluster size (dispatch overhead shows up here).
+
+Full runs on a multi-core box assert near-linear scaling: ≥ 1.7× at 2
+workers.  Single-core boxes (``os.cpu_count() < 2``) cannot scale
+localhost workers and skip that assertion — honestly recording
+``cores`` so the committed baseline is interpretable.
+
+Modes
+-----
+
+``python benchmarks/bench_distributed.py``
+    Full run (10^7 edges) writing ``BENCH_distributed.json``.
+
+``python benchmarks/bench_distributed.py --smoke --check BENCH_distributed.json``
+    CI gate: the small smoke size only; equivalence is asserted as
+    always, and measured speedups must stay above half the committed
+    baseline's (ratio-of-ratios, same as the other benches).
+
+Run from the repository root with ``PYTHONPATH=src``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.api import count_motifs
+from repro.graph.temporal_graph import TemporalGraph
+from repro.storage import pack_graph
+
+DEFAULT_OUT = pathlib.Path(__file__).parent / "BENCH_distributed.json"
+SRC_DIR = pathlib.Path(__file__).resolve().parent.parent / "src"
+REPO_ROOT = SRC_DIR.parent
+
+FULL_SIZE = (10_000_000, 1_000_000)
+SMOKE_SIZE = (200_000, 20_000)
+WORKER_COUNTS = (1, 2, 4)
+SMOKE_WORKER_COUNTS = (1, 2)
+
+DELTA = 400.0
+SEED = 47
+#: Time span per edge; with DELTA this sets ~20 edges per δ-window.
+SPAN_PER_EDGE = 20
+#: One fixed plan for every cluster size: enough units that a 4-worker
+#: cluster self-schedules, small enough that per-unit dispatch is cheap.
+NUM_SHARDS = 16
+
+#: Full runs on a multi-core box must scale at least this much at 2
+#: workers; a single core cannot run two workers concurrently at all.
+MIN_SPEEDUP_2_WORKERS = 1.7
+
+
+def make_graph(num_edges: int, num_nodes: int, seed: int) -> TemporalGraph:
+    rng = np.random.default_rng(seed)
+    t = np.sort(rng.integers(0, SPAN_PER_EDGE * num_edges, num_edges))
+    src = rng.integers(0, num_nodes, num_edges)
+    dst = (src + rng.integers(1, num_nodes, num_edges)) % num_nodes
+    return TemporalGraph.from_canonical_arrays(src, dst, t, num_nodes=num_nodes)
+
+
+def spawn_workers(count: int, source: str) -> Tuple[List[subprocess.Popen], str]:
+    """``count`` worker daemons holding ``source``; returns (procs, cluster)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+    procs, addresses = [], []
+    for _ in range(count):
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "worker", "--port", "0",
+             "--source", source],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+            env=env, cwd=str(REPO_ROOT), text=True,
+        )
+        line = proc.stdout.readline()
+        match = re.search(r"worker listening on (\S+)", line)
+        if not match:
+            proc.kill()
+            raise RuntimeError(f"worker printed no address: {line!r}")
+        procs.append(proc)
+        addresses.append(match.group(1))
+    return procs, ",".join(addresses)
+
+
+def stop_workers(procs: List[subprocess.Popen]) -> None:
+    for proc in procs:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
+    for proc in procs:
+        proc.wait(timeout=30)
+        proc.stdout.close()
+
+
+def bench_size(num_edges: int, num_nodes: int, delta: float,
+               worker_counts, workdir: pathlib.Path) -> List[Dict[str, object]]:
+    graph = make_graph(num_edges, num_nodes, SEED)
+    rgz_path = str(workdir / f"g{num_edges}.rgz")
+    pack_graph(graph, rgz_path, layout="full")
+    del graph
+
+    # Serial reference: the same shard plan, one process, no sockets.
+    tick = time.perf_counter()
+    reference = count_motifs(rgz_path, delta, num_shards=NUM_SHARDS)
+    serial_seconds = time.perf_counter() - tick
+    print(f"  {num_edges:>10,} edges | serial shard union "
+          f"{serial_seconds:7.2f}s ({NUM_SHARDS} shards)")
+
+    entries: List[Dict[str, object]] = []
+    one_worker_seconds: Optional[float] = None
+    for workers in worker_counts:
+        procs, cluster = spawn_workers(workers, rgz_path)
+        try:
+            tick = time.perf_counter()
+            result = count_motifs(rgz_path, delta, cluster=cluster,
+                                  num_shards=NUM_SHARDS)
+            elapsed = time.perf_counter() - tick
+        finally:
+            stop_workers(procs)
+        if not np.array_equal(result.grid, reference.grid):
+            raise AssertionError(
+                f"distributed count diverged at {workers} workers: "
+                f"{result.total()} vs {reference.total()}"
+            )
+        meta = result.meta["cluster"]
+        if one_worker_seconds is None:
+            one_worker_seconds = elapsed
+        entry: Dict[str, object] = {
+            "edges": num_edges,
+            "nodes": num_nodes,
+            "delta": delta,
+            "workers": workers,
+            "shards": result.meta["shards"],
+            "elapsed_seconds": elapsed,
+            "serial_seconds": serial_seconds,
+            "speedup": one_worker_seconds / max(elapsed, 1e-9),
+            "speedup_vs_serial": serial_seconds / max(elapsed, 1e-9),
+            "counts_equal": True,
+            "jobs": sum(meta["jobs"].values()),
+            "retries": meta["retries"],
+            "speculative": meta["speculative"],
+            "bytes_shipped": meta["bytes_shipped"],
+            "local_workers": len(meta["local_workers"]),
+        }
+        entries.append(entry)
+        print(
+            f"  {num_edges:>10,} edges | {workers} worker(s) "
+            f"{elapsed:7.2f}s | x{entry['speedup']:.2f} vs 1 worker | "
+            f"x{entry['speedup_vs_serial']:.2f} vs serial | "
+            f"{entry['jobs']} jobs, {entry['bytes_shipped']:,} B shipped"
+        )
+    os.unlink(rgz_path)
+    return entries
+
+
+def run(sizes, worker_counts, delta: float,
+        out: Optional[pathlib.Path], *, smoke: bool) -> List[Dict[str, object]]:
+    cores = os.cpu_count() or 1
+    print(
+        f"distributed shard execution benchmark (delta={delta:g}, "
+        f"seed={SEED}, {NUM_SHARDS} shards, workers={tuple(worker_counts)}, "
+        f"{cores} core(s))"
+    )
+    results: List[Dict[str, object]] = []
+    with tempfile.TemporaryDirectory(prefix="bench-distributed-") as workdir:
+        for num_edges, num_nodes in sizes:
+            results.extend(bench_size(
+                num_edges, num_nodes, delta, worker_counts,
+                pathlib.Path(workdir),
+            ))
+    if not smoke and cores >= 2:
+        for entry in results:
+            if entry["workers"] == 2 and entry["speedup"] < MIN_SPEEDUP_2_WORKERS:
+                raise AssertionError(
+                    f"shard-phase speedup at 2 workers is "
+                    f"{entry['speedup']:.2f}x on a {cores}-core box "
+                    f"(required {MIN_SPEEDUP_2_WORKERS}x)"
+                )
+    elif not smoke:
+        print(
+            f"single-core machine: skipping the {MIN_SPEEDUP_2_WORKERS}x "
+            "scaling assertion (two localhost workers cannot run "
+            "concurrently); equivalence was asserted for every entry"
+        )
+    if out is not None:
+        payload = {
+            "description": "distributed shard execution: localhost worker daemons vs serial shard union",
+            "generator": "uniform canonical arrays",
+            "delta": delta,
+            "seed": SEED,
+            "num_shards": NUM_SHARDS,
+            "cores": cores,
+            "results": results,
+        }
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"written to {out}")
+    return results
+
+
+def check(results: List[Dict[str, object]], baseline_path: pathlib.Path) -> int:
+    """Ratio-of-ratios regression gate against the committed baseline.
+
+    Equivalence is asserted during the run itself; what the gate adds
+    is a floor on scaling: half the committed baseline's speedup at
+    the same (edges, workers) point.
+    """
+    baseline = json.loads(baseline_path.read_text())
+    by_key = {
+        (entry["edges"], entry["workers"]): entry
+        for entry in baseline["results"]
+    }
+    status = 0
+    compared = 0
+    for entry in results:
+        if entry["workers"] == 1:
+            continue  # speedup is 1.0 by definition
+        base = by_key.get((entry["edges"], entry["workers"]))
+        if base is None or base.get("speedup") is None:
+            continue
+        compared += 1
+        floor = base["speedup"] / 2.0
+        verdict = "ok" if entry["speedup"] >= floor else "REGRESSED"
+        print(
+            f"  {entry['edges']:,} edges @ {entry['workers']} workers: "
+            f"speedup {entry['speedup']:.2f}x vs baseline "
+            f"{base['speedup']:.2f}x (floor {floor:.2f}x) -> {verdict}"
+        )
+        if entry["speedup"] < floor:
+            status = 1
+    if compared == 0:
+        print(
+            f"no baseline entry in {baseline_path} matches the measured "
+            "(edges, workers) points; the regression gate cannot run"
+        )
+        return 1
+    if status:
+        print("distributed scaling regressed >2x against the committed baseline")
+    return status
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help=f"run only the {SMOKE_SIZE[0]:,}-edge smoke size at "
+             f"{SMOKE_WORKER_COUNTS} workers",
+    )
+    parser.add_argument("--delta", type=float, default=DELTA)
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help=f"write results JSON here (default {DEFAULT_OUT.name}; "
+             "omitted in --check runs unless given explicitly)",
+    )
+    parser.add_argument(
+        "--check", type=pathlib.Path, default=None, metavar="BASELINE",
+        help="compare speedups against a committed baseline JSON; exit 1 "
+             "on a >2x regression",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        sizes, worker_counts = [SMOKE_SIZE], SMOKE_WORKER_COUNTS
+    else:
+        sizes, worker_counts = [SMOKE_SIZE, FULL_SIZE], WORKER_COUNTS
+    out = args.out
+    if out is None and args.check is None and not args.smoke:
+        out = DEFAULT_OUT
+    results = run(sizes, worker_counts, args.delta, out, smoke=args.smoke)
+    if args.check is not None:
+        return check(results, args.check)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

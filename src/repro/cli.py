@@ -17,6 +17,10 @@ Subcommands
     Run the resident motif-counting daemon: named graphs published to
     shared memory once, compatible requests batched, typed protocol
     errors (see ``docs/serving.md``).
+``worker``
+    Run one node of a counting cluster: a TCP daemon that counts
+    canonical edge ranges of packed graphs for a ``count --cluster``
+    coordinator (see ``docs/distributed.md``).
 ``query``
     Query a running ``serve`` daemon over its unix socket.
 ``list-datasets``
@@ -53,8 +57,8 @@ from repro.graph.statistics import compute_statistics
 from repro.graph.temporal_graph import TemporalGraph
 
 
-def _add_graph_source(parser: argparse.ArgumentParser) -> None:
-    group = parser.add_mutually_exclusive_group(required=True)
+def _add_graph_source(parser: argparse.ArgumentParser, *, required: bool = True) -> None:
+    group = parser.add_mutually_exclusive_group(required=required)
     group.add_argument("--input", help="SNAP-format edge list file (u v t per line)")
     group.add_argument("--dataset", choices=sorted(REGISTRY), help="registry dataset name")
     group.add_argument("--source", help="packed binary graph file (`repro pack` output), "
@@ -75,25 +79,59 @@ def _load_graph(args: argparse.Namespace) -> TemporalGraph:
     return load_dataset(args.dataset, args.scale)
 
 
+def _parse_boundaries(text: Optional[str]) -> Optional[tuple]:
+    """``"100,2000,35000"`` → interior cut-point tuple (None passthrough)."""
+    if text is None:
+        return None
+    try:
+        return tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise ReproError(
+            f"--boundaries expects comma-separated edge ids, got {text!r}"
+        ) from None
+
+
 def _cmd_count(args: argparse.Namespace) -> int:
+    from repro.core.registry import get_algorithm
+
     # A packed source is threaded through the request itself (the
     # registry opens it), so provenance lands in result.meta["source"].
     graph = None if args.source else _load_graph(args)
-    counts = count_motifs(
-        graph,
-        args.delta,
-        algorithm=args.algorithm,
-        categories=args.categories,
-        workers=args.workers,
-        thrd=args.thrd,
-        schedule=args.schedule,
-        seed=args.seed,
-        n_samples=args.n_samples,
-        backend=args.backend,
-        start_method=args.start_method,
-        source=args.source,
-        shard_budget=args.shard_budget,
-    )
+    # An explicit pool for pool-runtime parallel counts: same results,
+    # but the pool's runtime counters (jobs, batches, jobs_aborted,
+    # worker_restarts) become reportable below.
+    pool = None
+    spec = get_algorithm(args.algorithm)
+    if args.workers > 1 and spec.pool_runtime and args.cluster is None:
+        from repro.parallel.pool import WorkerPool
+
+        pool = WorkerPool(args.workers, start_method=args.start_method)
+    try:
+        counts = count_motifs(
+            graph,
+            args.delta,
+            algorithm=args.algorithm,
+            categories=args.categories,
+            workers=args.workers,
+            thrd=args.thrd,
+            schedule=args.schedule,
+            seed=args.seed,
+            n_samples=args.n_samples,
+            backend=args.backend,
+            pool=pool,
+            start_method=args.start_method,
+            source=args.source,
+            shard_budget=args.shard_budget,
+            num_shards=args.num_shards,
+            shard_boundaries=_parse_boundaries(args.boundaries),
+            cluster=args.cluster,
+        )
+        runtime_stats = {} if pool is None else {"pool": dict(pool.stats)}
+    finally:
+        if pool is not None:
+            pool.close()
+    if "cluster" in counts.meta:
+        runtime_stats["cluster"] = counts.meta["cluster"]
     dominant = counts.dominant_phase()
     if args.json:
         payload = {
@@ -118,6 +156,8 @@ def _cmd_count(args: argparse.Namespace) -> int:
         for key in ("source", "sharding", "shards", "halo_edges"):
             if key in counts.meta:
                 payload[key] = counts.meta[key]
+        if runtime_stats:
+            payload["runtime"] = runtime_stats
         print(json.dumps(payload, indent=2))
     else:
         print(counts.to_text(
@@ -140,6 +180,16 @@ def _cmd_count(args: argparse.Namespace) -> int:
                 f"sharding: halo-union over {counts.meta['shards']} shard(s), "
                 f"{counts.meta['halo_edges']:,} halo edges "
                 f"(budget {counts.meta['shard_budget']:,})"
+            )
+        cluster_meta = counts.meta.get("cluster")
+        if isinstance(cluster_meta, dict) and "workers" in cluster_meta:
+            c = cluster_meta
+            print(
+                f"cluster: {len(c.get('workers', []))} worker(s), "
+                f"{sum(c.get('jobs', {}).values())} job(s), "
+                f"{c.get('retries', 0)} retried, "
+                f"{c.get('speculative', 0)} speculative, "
+                f"{c.get('bytes_shipped', 0):,} bytes shipped"
             )
         if not counts.is_exact:
             # Grid cells of one replicate are correlated, so the CI on
@@ -215,6 +265,15 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    if args.runtime:
+        if not args.cluster:
+            raise ReproError("stats --runtime requires --cluster host:port,...")
+        from repro.distributed import cluster_runtime_stats
+
+        print(json.dumps(cluster_runtime_stats(args.cluster), indent=2, sort_keys=True))
+        return 0
+    if not (args.input or args.dataset or getattr(args, "source", None)):
+        raise ReproError("stats requires one of --input / --dataset / --source")
     graph = _load_graph(args)
     stats = compute_statistics(graph)
     print(f"nodes:            {stats.num_nodes:,}")
@@ -243,13 +302,30 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _parse_graph_spec(spec: str) -> tuple:
-    """Split a ``name=source`` CLI graph spec; source is path or dataset."""
+    """Split a ``name=source[@cluster]`` CLI graph spec.
+
+    ``source`` is a path or ``dataset[:scale]``; an optional trailing
+    ``@host:port,...`` binds the graph to a worker cluster (the suffix
+    only counts as a cluster when it parses as one, so paths containing
+    ``@`` keep working).
+    """
     name, sep, source = spec.partition("=")
     if not sep or not name or not source:
         raise ReproError(
-            f"--graph expects name=<edgelist path or dataset[:scale]>, got {spec!r}"
+            f"--graph expects name=<edgelist path or dataset[:scale]>"
+            f"[@host:port,...], got {spec!r}"
         )
-    return name, source
+    head, at, tail = source.rpartition("@")
+    if at:
+        from repro.distributed.protocol import parse_cluster
+
+        try:
+            parse_cluster(tail)
+        except ReproError:
+            pass  # not a cluster suffix; the whole string is the source
+        else:
+            return name, head, tail
+    return name, source, None
 
 
 def _load_catalog_source(source: str):
@@ -279,12 +355,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     service = MotifService(config)
     try:
         for spec in args.graph:
-            name, source = _parse_graph_spec(spec)
+            name, source, cluster = _parse_graph_spec(spec)
             graph = _load_catalog_source(source)
-            service.add_graph(name, graph)
+            service.add_graph(name, graph, cluster=cluster)
+            where = f" @ cluster {cluster}" if cluster else ""
             print(
                 f"catalog: {name} <- {source} "
-                f"({graph.num_nodes:,} nodes, {graph.num_edges:,} edges)",
+                f"({graph.num_nodes:,} nodes, {graph.num_edges:,} edges)"
+                f"{where}",
                 flush=True,
             )
         where = []
@@ -353,6 +431,19 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.distributed import run_worker
+
+    return run_worker(
+        args.host,
+        args.port,
+        workers=args.workers,
+        start_method=args.start_method,
+        sources=args.source or [],
+        delay=args.delay,
+    )
+
+
 def _cmd_list_datasets(_: argparse.Namespace) -> int:
     for name, spec in REGISTRY.items():
         print(
@@ -411,6 +502,17 @@ def build_parser() -> argparse.ArgumentParser:
                               "shard; exact algorithms count shard-by-shard "
                               "with δ-overlap halos (identical counts, peak "
                               "memory proportional to the budget)")
+    p_count.add_argument("--num-shards", type=int, default=None,
+                         help="alternative cut mode: split the edge sequence "
+                              "into this many near-equal shards (at most one "
+                              "of --shard-budget / --num-shards / --boundaries)")
+    p_count.add_argument("--boundaries", default=None, metavar="C1,C2,...",
+                         help="explicit interior canonical-edge-id cut points "
+                              "for the shard-halo union (strictly increasing)")
+    p_count.add_argument("--cluster", default=None, metavar="HOST:PORT,...",
+                         help="distribute the shard plan across these "
+                              "`repro worker` daemons (exact algorithms; "
+                              "counts bit-identical to the serial path)")
     p_count.add_argument("--json", action="store_true", help="emit JSON")
     p_count.set_defaults(func=_cmd_count)
 
@@ -475,8 +577,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_gen.add_argument("--out", required=True)
     p_gen.set_defaults(func=_cmd_generate)
 
-    p_stats = sub.add_parser("stats", help="print graph statistics")
-    _add_graph_source(p_stats)
+    p_stats = sub.add_parser("stats", help="print graph or cluster runtime statistics")
+    _add_graph_source(p_stats, required=False)
+    p_stats.add_argument("--runtime", action="store_true",
+                         help="print live runtime counters instead of graph "
+                              "statistics (requires --cluster)")
+    p_stats.add_argument("--cluster", default=None, metavar="HOST:PORT,...",
+                         help="worker daemons to poll with --runtime")
     p_stats.set_defaults(func=_cmd_stats)
 
     p_bench = sub.add_parser("bench", help="run a paper experiment")
@@ -495,9 +602,12 @@ def build_parser() -> argparse.ArgumentParser:
                     "single pool runs, and repeats are answered from "
                     "the result cache.  See docs/serving.md.",
     )
-    p_serve.add_argument("--graph", action="append", default=[], metavar="NAME=SOURCE",
-                         help="catalog entry: NAME=<edge-list path> or "
-                              "NAME=<dataset[:scale]> (repeatable)")
+    p_serve.add_argument("--graph", action="append", default=[],
+                         metavar="NAME=SOURCE[@CLUSTER]",
+                         help="catalog entry: NAME=<edge-list path>, "
+                              "NAME=<packed file>, or NAME=<dataset[:scale]> "
+                              "(repeatable); a trailing @host:port,... binds "
+                              "exact counts on it to a worker cluster")
     p_serve.add_argument("--socket", default=None,
                          help="unix socket path for the JSONL transport")
     p_serve.add_argument("--http-host", default="127.0.0.1")
@@ -522,6 +632,31 @@ def build_parser() -> argparse.ArgumentParser:
                          help="suspend idle pool workers after this many "
                               "seconds (default: keep them)")
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="run one node of a counting cluster",
+        description="Serve shard-counting jobs over TCP for a "
+                    "`count --cluster` coordinator: opens local packed "
+                    "graphs zero-copy, counts the canonical edge ranges "
+                    "it is handed (or edge slices shipped inline), and "
+                    "reports runtime counters via `stats --runtime`.  "
+                    "See docs/distributed.md.",
+    )
+    p_worker.add_argument("--host", default="127.0.0.1")
+    p_worker.add_argument("--port", type=int, default=0,
+                          help="TCP port (0 = ephemeral; the bound address is "
+                               "printed on startup)")
+    p_worker.add_argument("--workers", type=int, default=1,
+                          help="resident pool size for pool-runtime algorithms "
+                               "(default 1: serial in-process, no pool)")
+    p_worker.add_argument("--start-method", choices=("fork", "spawn"), default=None)
+    p_worker.add_argument("--source", action="append", default=[],
+                          help="packed graph file to open eagerly (repeatable; "
+                               "coordinators probe lazily either way)")
+    p_worker.add_argument("--delay", type=float, default=0.0,
+                          help=argparse.SUPPRESS)  # fault-injection testing aid
+    p_worker.set_defaults(func=_cmd_worker)
 
     p_query = sub.add_parser(
         "query", help="query a running serve daemon over its unix socket"

@@ -69,6 +69,9 @@ def count_motifs(
     deadline: Optional[float] = None,
     source: Optional[str] = None,
     shard_budget: Optional[int] = None,
+    num_shards: Optional[int] = None,
+    shard_boundaries: Optional[Sequence[int]] = None,
+    cluster: Optional[str] = None,
     **params: object,
 ) -> MotifCounts:
     """Count 2- and 3-node, 3-edge δ-temporal motifs (Problem 1).
@@ -145,6 +148,24 @@ def count_motifs(
         the out-of-core shard-halo union of
         :mod:`repro.storage.sharded` with peak memory proportional to
         this budget.  Results are bit-identical to the in-memory path.
+    num_shards:
+        Alternative cut mode: split the canonical edge sequence into
+        that many near-equal shards instead of budgeting edges.  At
+        most one of ``shard_budget`` / ``num_shards`` /
+        ``shard_boundaries`` may be given.
+    shard_boundaries:
+        Explicit interior canonical-edge-id cut points (strictly
+        increasing) — full control over where the shard-halo union
+        cuts; the equivalence property tests randomize over these.
+    cluster:
+        Comma-separated ``host:port`` addresses of ``repro worker``
+        daemons: exact algorithms run the shard plan *distributed*
+        across them (:mod:`repro.distributed`), with locality-aware
+        placement, retried/speculative dispatch under exactly-once
+        accounting, and results bit-identical to the serial shard-halo
+        union.  Combine with any one cut mode above (default: four
+        shards per worker).  Sampling estimators run whole-graph
+        locally, as with sharding.
     params:
         Algorithm-specific extras declared in the registry, e.g.
         ``q=0.3, window_factor=5.0`` for BTS or ``p=0.01, q=1.0`` for
@@ -185,6 +206,9 @@ def count_motifs(
             "deadline": deadline is not None,
             "source": source is not None,
             "shard_budget": shard_budget is not None,
+            "num_shards": num_shards is not None,
+            "shard_boundaries": shard_boundaries is not None,
+            "cluster": cluster is not None,
             "params": bool(params),
         }
         given = sorted(name for name, set_ in overrides.items() if set_)
@@ -211,6 +235,9 @@ def count_motifs(
         deadline=deadline,
         source=source,
         shard_budget=shard_budget,
+        num_shards=num_shards,
+        shard_boundaries=None if shard_boundaries is None else tuple(shard_boundaries),
+        cluster=cluster,
         params=dict(params),
     )
     return execute(request)

@@ -167,8 +167,25 @@ class CountRequest:
     #: :mod:`repro.storage.sharded` — peak memory tracks this budget,
     #: results stay bit-identical.  Sampling algorithms ignore it
     #: (recorded in ``meta["sharding"]``) because their global RNG
-    #: stream does not decompose.
+    #: stream does not decompose.  At most one of ``shard_budget`` /
+    #: ``num_shards`` / ``shard_boundaries`` may be given.
     shard_budget: Optional[int] = None
+    #: Alternative cut mode: split the canonical edge sequence into
+    #: this many near-equal shards (``ShardedGraph(num_shards=)``).
+    num_shards: Optional[int] = None
+    #: Alternative cut mode: explicit interior canonical-edge-id cut
+    #: points, strictly increasing in ``(0, num_edges)``
+    #: (``ShardedGraph(boundaries=)``) — what equivalence tests
+    #: randomize over.  Normalized to a tuple of ints.
+    shard_boundaries: Optional[Tuple[int, ...]] = None
+    #: Distributed execution: comma-separated ``host:port`` addresses
+    #: of running ``repro worker`` daemons.  Exact algorithms farm the
+    #: shard plan across them through
+    #: :mod:`repro.distributed.cluster` (results stay bit-identical to
+    #: the serial shard-halo union); sampling algorithms run
+    #: whole-graph locally, recorded in ``meta["cluster"]``.  Accepts a
+    #: sequence of addresses; normalized to the comma string.
+    cluster: Optional[str] = None
     params: Dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -182,6 +199,27 @@ class CountRequest:
             raise ValidationError(
                 f"shard_budget must be >= 1, got {self.shard_budget}"
             )
+        if self.num_shards is not None and self.num_shards < 1:
+            raise ValidationError(f"num_shards must be >= 1, got {self.num_shards}")
+        if self.shard_boundaries is not None:
+            try:
+                self.shard_boundaries = tuple(int(b) for b in self.shard_boundaries)
+            except (TypeError, ValueError):
+                raise ValidationError(
+                    f"shard_boundaries must be a sequence of edge ids, "
+                    f"got {self.shard_boundaries!r}"
+                ) from None
+            if not self.shard_boundaries:
+                raise ValidationError("shard_boundaries must be non-empty when given")
+        cut_modes = (self.shard_budget, self.num_shards, self.shard_boundaries)
+        if sum(x is not None for x in cut_modes) > 1:
+            raise ValidationError(
+                "give at most one of shard_budget / num_shards / shard_boundaries"
+            )
+        if self.cluster is not None:
+            from repro.distributed.protocol import parse_cluster
+
+            self.cluster = ",".join(parse_cluster(self.cluster))
         if self.delta is None or self.delta < 0:
             raise ValidationError(f"delta must be non-negative, got {self.delta}")
         if self.backend not in BACKENDS:
@@ -217,6 +255,32 @@ class CountRequest:
             raise DeadlineExceededError(
                 f"request{label} missed its deadline before completion"
             )
+
+    # -- sharding helpers -----------------------------------------------
+    @property
+    def wants_sharding(self) -> bool:
+        """Whether any shard cut mode was requested."""
+        return (
+            self.shard_budget is not None
+            or self.num_shards is not None
+            or self.shard_boundaries is not None
+        )
+
+    @property
+    def shard_spec(self) -> Dict[str, object]:
+        """The request's cut mode as ``ShardedGraph`` keyword arguments.
+
+        Empty when no cut mode was given (callers pick their own
+        default — the registry uses ``shard_budget``'s default, the
+        cluster executor sizes shards to the worker count).
+        """
+        if self.shard_budget is not None:
+            return {"max_shard_edges": self.shard_budget}
+        if self.num_shards is not None:
+            return {"num_shards": self.num_shards}
+        if self.shard_boundaries is not None:
+            return {"boundaries": self.shard_boundaries}
+        return {}
 
     # -- category helpers used by adapters -----------------------------
     @property
@@ -600,7 +664,11 @@ def execute(request: CountRequest) -> "MotifCounts":
     req.check_deadline()
     start = time.perf_counter()
     if req.n_samples == 1:
-        if req.shard_budget is not None and spec.is_exact:
+        if req.cluster is not None and spec.is_exact:
+            from repro.distributed.cluster import cluster_count
+
+            result = cluster_count(req, spec)
+        elif req.wants_sharding and spec.is_exact:
             from repro.storage.sharded import sharded_count
 
             result = sharded_count(req, spec)
@@ -657,10 +725,15 @@ def execute(request: CountRequest) -> "MotifCounts":
     result.meta.setdefault("backend", req.backend)
     if req.source is not None:
         result.meta.setdefault("source", req.source)
-    if req.shard_budget is not None and not spec.is_exact:
+    if req.wants_sharding and not spec.is_exact:
         result.meta.setdefault(
             "sharding",
             "whole-graph (sampling estimators draw one global RNG stream)",
+        )
+    if req.cluster is not None and not spec.is_exact:
+        result.meta.setdefault(
+            "cluster",
+            {"passthrough": "sampling estimators run whole-graph locally"},
         )
     if req.request_id is not None:
         result.meta.setdefault("request_id", req.request_id)

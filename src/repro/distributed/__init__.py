@@ -1,0 +1,29 @@
+"""Distributed shard execution: coordinator/worker runtime over TCP.
+
+The multi-node sibling of :mod:`repro.parallel`: a ``repro worker``
+daemon per node (:class:`WorkerDaemon`), a coordinator
+(:class:`ClusterExecutor`) that farms the
+:class:`~repro.storage.sharded.ShardedGraph` plan's per-shard slice and
+halo jobs across them with locality-aware placement, retry with
+exactly-once accounting, and a canonical-order reduction bit-identical
+to the serial shard-halo union.  See ``docs/distributed.md``.
+"""
+
+from repro.distributed.cluster import (
+    ClusterExecutor,
+    WorkerLink,
+    cluster_count,
+    cluster_runtime_stats,
+)
+from repro.distributed.protocol import parse_cluster
+from repro.distributed.worker import WorkerDaemon, run_worker
+
+__all__ = [
+    "ClusterExecutor",
+    "WorkerDaemon",
+    "WorkerLink",
+    "cluster_count",
+    "cluster_runtime_stats",
+    "parse_cluster",
+    "run_worker",
+]

@@ -1,0 +1,481 @@
+"""The cluster coordinator: shard-plan dispatch across worker daemons.
+
+:class:`ClusterExecutor` takes one exact :class:`CountRequest` past a
+single machine.  It computes the PR 7 shard plan
+(:class:`~repro.storage.sharded.ShardedGraph`), turns it into
+independent **units** — one slice job ``[own_lo, halo_hi)`` with sign
+``+1`` and one halo job ``[own_hi, halo_hi)`` with sign ``−1`` per
+shard — and farms the units to ``repro worker`` daemons over TCP, one
+coordinator thread per worker pulling from a shared queue (dynamic
+self-scheduling: slow shards never gate fast ones).
+
+**Placement** is locality-aware: each worker is probed with the
+``open`` op; workers holding the coordinator's ``.rgz`` path count by
+``(source, lo, hi)`` reference, the rest receive base64 edge-column
+slices inline (``count_edges``), with shipped bytes recorded in the
+result's ``meta["cluster"]``.
+
+**Fault tolerance with exactly-once accounting.**  A transport failure
+(:class:`~repro.errors.WorkerUnavailableError`) marks that worker dead
+and returns its in-flight unit to the queue for re-dispatch; when the
+queue drains while units are still in flight, idle workers
+*speculatively* duplicate the slowest in-flight unit (work-stealing
+re-dispatch of the tail).  Both paths are safe because results are
+keyed by unit id and the **first completion wins**: a re-run or a
+duplicate *replaces nothing and adds nothing* — its grid is either the
+recorded answer or it is dropped — so each unit contributes its
+``ΣS − ΣH`` term exactly once, whatever the retry history.
+
+**Determinism.**  Units are reduced in canonical shard order on the
+coordinator, and every unit's grid is the exact int64 answer of a
+canonical slice (the repo-wide invariant: identical counts across
+backends, worker counts, and machines).  The reduced total is therefore
+bit-identical to the serial :func:`~repro.storage.sharded.sharded_count`
+of the same plan — which the equivalence tests and the distributed
+bench assert, byte for byte.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.distributed import protocol
+from repro.errors import ReproError, WorkerUnavailableError
+from repro.storage.sharded import ShardedGraph
+
+#: Dispatch attempts allowed per unit before the run is declared failed.
+MAX_ATTEMPTS = 5
+
+#: Copies of one unit allowed in flight at once (1 original + 1 steal).
+MAX_INFLIGHT_COPIES = 2
+
+#: Shards planned per worker when the request carries no cut mode:
+#: enough units that dynamic self-scheduling can balance uneven shards.
+UNITS_PER_WORKER = 4
+
+
+class WorkerLink:
+    """Blocking JSONL client for one worker daemon (TCP sibling of
+    :class:`~repro.serve.client.ServeClient`).
+
+    Transport failures — connect refusal, timeout, mid-request
+    disconnect, a garbled response — raise
+    :class:`~repro.errors.WorkerUnavailableError`, the coordinator's
+    retry signal.  Failures *reported* by the worker re-raise as their
+    typed :mod:`repro.errors` classes and are never retried.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        *,
+        connect_timeout: float = 10.0,
+        timeout: Optional[float] = 600.0,
+    ) -> None:
+        host, port = protocol.split_address(address)
+        self.address = address
+        try:
+            self._sock = socket.create_connection((host, port), timeout=connect_timeout)
+        except OSError as exc:
+            raise WorkerUnavailableError(
+                f"cannot connect to worker {address!r}: {exc}"
+            ) from exc
+        self._sock.settimeout(timeout)
+        self._file = self._sock.makefile("rb")
+        self._closed = False
+
+    def request(self, message: Dict) -> Dict:
+        """One round-trip; returns the ok envelope or raises."""
+        data = json.dumps(message).encode() + b"\n"
+        try:
+            self._sock.sendall(data)
+            line = protocol.read_message_line(self._file)
+        except OSError as exc:
+            raise WorkerUnavailableError(
+                f"worker {self.address!r} connection failed: {exc}"
+            ) from exc
+        if line is None:
+            raise WorkerUnavailableError(
+                f"worker {self.address!r} closed the connection"
+            )
+        try:
+            envelope = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise WorkerUnavailableError(
+                f"worker {self.address!r} sent invalid JSON: {exc}"
+            ) from exc
+        return protocol.raise_from_response(envelope)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "WorkerLink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@dataclass
+class _Unit:
+    """One ΣS − ΣH term: a canonical edge range with a sign."""
+
+    uid: int
+    shard: int
+    kind: str  # "slice" | "halo"
+    lo: int
+    hi: int
+    sign: int
+
+
+class ClusterExecutor:
+    """See the module docstring.  One executor per distributed count."""
+
+    def __init__(
+        self,
+        cluster,
+        *,
+        connect_timeout: float = 10.0,
+        job_timeout: Optional[float] = 600.0,
+    ) -> None:
+        self.addresses = protocol.parse_cluster(cluster)
+        self.connect_timeout = connect_timeout
+        self.job_timeout = job_timeout
+
+    # -- introspection --------------------------------------------------
+    def stats(self) -> Dict[str, Dict]:
+        """Live runtime counters of every reachable worker daemon."""
+        out: Dict[str, Dict] = {}
+        for address in self.addresses:
+            try:
+                with WorkerLink(address, connect_timeout=self.connect_timeout) as link:
+                    out[address] = link.request({"op": "stats"})["result"]
+            except WorkerUnavailableError as exc:
+                out[address] = {"unreachable": str(exc)}
+        return out
+
+    # -- counting -------------------------------------------------------
+    def count(self, request, spec):
+        """Run one *resolved* exact request across the cluster."""
+        from repro.core.counters import MotifCounts
+
+        start = time.perf_counter()
+        graph = request.graph
+        shard_kwargs = request.shard_spec or {
+            "num_shards": max(1, UNITS_PER_WORKER * len(self.addresses))
+        }
+        tick = time.perf_counter()
+        sharded = ShardedGraph(graph, **shard_kwargs)
+        plan = sharded.plan(request.delta)
+        units: List[_Unit] = []
+        for shard in plan:
+            if shard.halo_hi - shard.own_lo >= 3:
+                units.append(_Unit(
+                    uid=len(units), shard=shard.index, kind="slice",
+                    lo=shard.own_lo, hi=shard.halo_hi, sign=1,
+                ))
+            if shard.halo_hi - shard.own_hi >= 3:
+                units.append(_Unit(
+                    uid=len(units), shard=shard.index, kind="halo",
+                    lo=shard.own_hi, hi=shard.halo_hi, sign=-1,
+                ))
+        plan_seconds = time.perf_counter() - tick
+
+        state = _RunState(units)
+        spec_payload = protocol.encode_count_spec(request)
+        threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(address, request.source, graph, spec_payload, state),
+                daemon=True,
+                name=f"repro-cluster-{address}",
+            )
+            for address in self.addresses
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            self._wait(request, state)
+        finally:
+            state.abort()  # idle stealers must not linger past failure
+            for thread in threads:
+                thread.join(timeout=30)
+
+        # Canonical-order reduction: exactly one recorded grid per unit.
+        total = np.zeros((6, 6), dtype=np.int64)
+        for unit in units:
+            total += unit.sign * state.results[unit.uid]
+        assert not np.any(total < 0), "halo union produced a negative cell (bug)"
+
+        phases = {"plan": plan_seconds}
+        for phase, seconds in state.remote_phases.items():
+            phases[phase] = phases.get(phase, 0.0) + seconds
+        result = MotifCounts(
+            total,
+            algorithm=request.algorithm,
+            is_exact=True,
+            phase_seconds=phases,
+            meta={
+                "sharding": "halo-union",
+                "shards": sharded.num_shards,
+                "slice_runs": len(units),
+                "halo_edges": sum(s.halo_edges for s in plan),
+                "max_slice_edges": max((s.slice_edges for s in plan), default=0),
+                "shard_budget": sharded.max_shard_edges,
+                "cluster": state.describe(self.addresses),
+            },
+        )
+        result.delta = request.delta
+        result.elapsed_seconds = time.perf_counter() - start
+        return result
+
+    # -- per-worker dispatch loop ---------------------------------------
+    def _worker_loop(self, address, source, graph, spec_payload, state) -> None:
+        try:
+            self._serve_worker(address, source, graph, spec_payload, state)
+        except Exception as exc:  # noqa: BLE001 - thread boundary: a bug
+            state.fail(exc)  # here must surface, not hang the wait loop
+
+    def _serve_worker(self, address, source, graph, spec_payload, state) -> None:
+        try:
+            link = WorkerLink(
+                address,
+                connect_timeout=self.connect_timeout,
+                timeout=self.job_timeout,
+            )
+        except WorkerUnavailableError as exc:
+            state.worker_lost(address, None, exc)
+            return
+        try:
+            held = False
+            if source is not None:
+                probe = link.request({"op": "open", "source": source})["result"]
+                held = bool(probe.get("held"))
+                if held and probe.get("num_edges") != graph.num_edges:
+                    # Same path, different file: treat as not local
+                    # rather than silently counting a different graph.
+                    held = False
+            state.worker_ready(address, held)
+            while True:
+                unit, speculative = state.acquire(address)
+                if unit is None:
+                    return
+                try:
+                    tick = time.perf_counter()
+                    if held:
+                        envelope = link.request({
+                            "op": "count_slice", "source": source,
+                            "lo": unit.lo, "hi": unit.hi, "spec": spec_payload,
+                        })
+                    else:
+                        payload = protocol.encode_edge_slice(graph, unit.lo, unit.hi)
+                        state.add_shipped(protocol.edge_slice_bytes(payload))
+                        envelope = link.request({
+                            "op": "count_edges", "edges": payload,
+                            "spec": spec_payload,
+                        })
+                    counts = protocol.decode_counts(envelope["result"]["counts"])
+                    state.complete(
+                        address, unit, counts,
+                        seconds=time.perf_counter() - tick,
+                        speculative=speculative,
+                    )
+                except WorkerUnavailableError as exc:
+                    state.worker_lost(address, unit, exc)
+                    return
+                except ReproError as exc:
+                    # Deterministic failure (bad request, corrupt
+                    # source): retrying elsewhere cannot succeed.
+                    state.fail(exc)
+                    return
+        finally:
+            link.close()
+
+    # -- completion wait ------------------------------------------------
+    @staticmethod
+    def _wait(request, state) -> None:
+        with state.cond:
+            while True:
+                if state.error is not None:
+                    raise state.error
+                if state.finished():
+                    return
+                if not state.live_workers and not state.started_workers:
+                    pass  # startup race: no worker has reported yet
+                elif not state.live_workers:
+                    raise WorkerUnavailableError(
+                        f"all cluster workers failed; last error: "
+                        f"{state.last_failure}"
+                    )
+                request.check_deadline()
+                state.cond.wait(timeout=0.1)
+
+
+class _RunState:
+    """Shared dispatch state of one distributed count (lock-guarded)."""
+
+    def __init__(self, units: List[_Unit]) -> None:
+        self.units = {unit.uid: unit for unit in units}
+        self.cond = threading.Condition()
+        self.pending = collections.deque(unit.uid for unit in units)
+        self.results: Dict[int, np.ndarray] = {}
+        self.inflight: Dict[int, int] = collections.defaultdict(int)
+        self.attempts: Dict[int, int] = collections.defaultdict(int)
+        self.remote_phases: Dict[str, float] = {}
+        self.shard_seconds: Dict[str, float] = {}
+        self.jobs_by_worker: Dict[str, int] = {}
+        self.live_workers: set = set()
+        self.started_workers: set = set()
+        self.local_workers: set = set()
+        self.error: Optional[BaseException] = None
+        self.last_failure: Optional[str] = None
+        self.aborted = False
+        self.stats = {
+            "retries": 0,
+            "speculative": 0,
+            "duplicates_ignored": 0,
+            "worker_failures": 0,
+            "bytes_shipped": 0,
+        }
+
+    # -- worker lifecycle ----------------------------------------------
+    def worker_ready(self, address: str, held: bool) -> None:
+        with self.cond:
+            self.started_workers.add(address)
+            self.live_workers.add(address)
+            self.jobs_by_worker.setdefault(address, 0)
+            if held:
+                self.local_workers.add(address)
+            self.cond.notify_all()
+
+    def worker_lost(self, address, unit, exc) -> None:
+        with self.cond:
+            self.started_workers.add(address)
+            self.live_workers.discard(address)
+            self.stats["worker_failures"] += 1
+            self.last_failure = f"{address}: {exc}"
+            if unit is not None:
+                self.inflight[unit.uid] -= 1
+                if unit.uid not in self.results:
+                    if self.attempts[unit.uid] >= MAX_ATTEMPTS:
+                        self.error = WorkerUnavailableError(
+                            f"unit {unit.kind}[{unit.shard}] failed "
+                            f"{self.attempts[unit.uid]} times; giving up "
+                            f"(last: {exc})"
+                        )
+                    else:
+                        self.stats["retries"] += 1
+                        self.pending.appendleft(unit.uid)
+            self.cond.notify_all()
+
+    # -- job acquisition -------------------------------------------------
+    def acquire(self, address: str):
+        """Next unit for ``address``: queued work, else a stolen tail unit."""
+        with self.cond:
+            while True:
+                if self.error is not None or self.aborted:
+                    return None, False
+                while self.pending:
+                    uid = self.pending.popleft()
+                    if uid in self.results:
+                        continue  # answered while queued (speculative win)
+                    self.inflight[uid] += 1
+                    self.attempts[uid] += 1
+                    self.jobs_by_worker[address] = self.jobs_by_worker.get(address, 0) + 1
+                    return self.units[uid], False
+                open_units = [
+                    uid for uid in self.units if uid not in self.results
+                ]
+                if not open_units:
+                    return None, False
+                # Tail re-dispatch: duplicate the in-flight unit with the
+                # fewest copies/attempts on this idle worker.
+                stealable = [
+                    uid for uid in open_units
+                    if self.inflight[uid] < MAX_INFLIGHT_COPIES
+                    and self.attempts[uid] < MAX_ATTEMPTS
+                ]
+                if stealable:
+                    uid = min(
+                        stealable,
+                        key=lambda u: (self.inflight[u], self.attempts[u], u),
+                    )
+                    self.inflight[uid] += 1
+                    self.attempts[uid] += 1
+                    self.stats["speculative"] += 1
+                    self.jobs_by_worker[address] = self.jobs_by_worker.get(address, 0) + 1
+                    return self.units[uid], True
+                # Everything open is already maximally duplicated: wait
+                # for a completion or a failure to requeue something.
+                self.cond.wait(timeout=0.1)
+
+    # -- completion ------------------------------------------------------
+    def complete(self, address, unit, counts, *, seconds, speculative) -> None:
+        grid = np.rint(np.asarray(counts.grid)).astype(np.int64)
+        with self.cond:
+            self.inflight[unit.uid] -= 1
+            if unit.uid in self.results:
+                # Exactly-once: a speculative duplicate (or a retry that
+                # raced its replacement) landed second — drop it whole.
+                self.stats["duplicates_ignored"] += 1
+            else:
+                self.results[unit.uid] = grid
+                self.shard_seconds[f"shard{unit.shard}.{unit.kind}"] = seconds
+                for phase, secs in counts.phase_seconds.items():
+                    self.remote_phases[phase] = self.remote_phases.get(phase, 0.0) + secs
+            self.cond.notify_all()
+
+    def add_shipped(self, nbytes: int) -> None:
+        with self.cond:
+            self.stats["bytes_shipped"] += int(nbytes)
+
+    def fail(self, exc: BaseException) -> None:
+        with self.cond:
+            if self.error is None:
+                self.error = exc
+            self.cond.notify_all()
+
+    def abort(self) -> None:
+        with self.cond:
+            self.aborted = True
+            self.cond.notify_all()
+
+    def finished(self) -> bool:
+        return len(self.results) == len(self.units)
+
+    def describe(self, addresses) -> Dict[str, object]:
+        """The ``meta["cluster"]`` payload (JSON-safe)."""
+        with self.cond:
+            return {
+                "workers": list(addresses),
+                "local_workers": sorted(self.local_workers),
+                "jobs": dict(self.jobs_by_worker),
+                "shard_seconds": dict(self.shard_seconds),
+                **{k: int(v) for k, v in self.stats.items()},
+            }
+
+
+def cluster_count(request, spec):
+    """Registry routing target: run one resolved exact request on the
+    cluster named by ``request.cluster`` (see :class:`ClusterExecutor`)."""
+    executor = ClusterExecutor(request.cluster)
+    return executor.count(request, spec)
+
+
+def cluster_runtime_stats(cluster, *, connect_timeout: float = 10.0) -> Dict[str, Dict]:
+    """Runtime counters of every worker in ``cluster`` (CLI helper)."""
+    return ClusterExecutor(cluster, connect_timeout=connect_timeout).stats()

@@ -32,6 +32,19 @@ class ParallelExecutionError(ReproError, RuntimeError):
     """A parallel worker failed while counting motifs."""
 
 
+class WorkerUnavailableError(ParallelExecutionError):
+    """A remote cluster worker could not be reached or died mid-job.
+
+    The *retryable* failure class of :mod:`repro.distributed`: raised
+    by the coordinator's worker links on connection failures, timeouts,
+    and mid-request disconnects.  The coordinator answers it by
+    re-dispatching the shard elsewhere; it only escapes to callers when
+    every worker in the cluster is gone.  Deterministic server-side
+    errors (a :class:`ValidationError` from a bad request, say) re-raise
+    as their own classes and are never retried.
+    """
+
+
 class DeadlineExceededError(ReproError, TimeoutError):
     """A request's deadline passed before its result was produced.
 

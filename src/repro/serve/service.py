@@ -160,6 +160,8 @@ class MotifService:
         self._queue: List[_Pending] = []
         self._inflight: Dict[Tuple, _Pending] = {}
         self._tenant_inflight: Dict[str, int] = {}
+        #: Graph name -> (cluster spec, packed source path or None).
+        self._cluster_bindings: Dict[str, Tuple[str, Optional[str]]] = {}
         self._closed = False
         self.stats: Dict[str, int] = {
             "requests": 0,
@@ -178,21 +180,41 @@ class MotifService:
         self._dispatcher.start()
 
     # -- catalog management (delegation sugar) --------------------------
-    def add_graph(self, name: str, source) -> None:
-        """Register a graph; static graphs are pinned into the pool."""
+    def add_graph(self, name: str, source, *, cluster=None) -> None:
+        """Register a graph; static graphs are pinned into the pool.
+
+        ``cluster`` binds the graph to a set of ``repro worker``
+        daemons (``"host:port,..."``): exact counts on it run
+        distributed (:mod:`repro.distributed`) instead of on the local
+        pool — when ``source`` is a :class:`PackedGraph`, by shipping
+        only its path so workers holding the file count by reference.
+        Sampling requests still run locally (they do not decompose).
+        """
         from repro.graph.temporal_graph import TemporalGraph
         from repro.storage.format import PackedGraph
 
+        source_path = None
         if isinstance(source, PackedGraph):
             # Serve the packed file's mmap-backed graph; publication
             # below copies it into pool shared memory exactly like an
             # in-memory graph.
+            source_path = source.path
             source = source.graph
+        if cluster is not None:
+            from repro.distributed.protocol import parse_cluster
+
+            cluster = ",".join(parse_cluster(cluster))
         self.catalog.add(name, source)
-        if isinstance(source, TemporalGraph) and not self.pool.closed:
+        with self._lock:
+            if cluster is not None:
+                self._cluster_bindings[name] = (cluster, source_path)
+            else:
+                self._cluster_bindings.pop(name, None)
+        if cluster is None and isinstance(source, TemporalGraph) and not self.pool.closed:
             # Static graphs never reload; publish (pinned) now so the
             # first request does not pay the copy.  Live sources are
-            # auto-published per generation instead.
+            # auto-published per generation instead.  Cluster-bound
+            # graphs skip the publish: their exact work runs remotely.
             self.pool.publish(source)
 
     # -- admission ------------------------------------------------------
@@ -299,20 +321,10 @@ class MotifService:
             None if any(d is None for d in member_deadlines)
             else max(member_deadlines)
         )
+        with self._lock:
+            binding = self._cluster_bindings.get(live[0].lease.name)
         try:
-            sweep = count_motifs_sweep(
-                live[0].lease.graph,
-                deltas,
-                algorithms=(fields["algorithm"],),
-                categories=fields["categories"],
-                workers=self.config.workers,
-                seed=fields["seed"],
-                n_samples=fields["n_samples"],
-                backend=fields["backend"],
-                pool=self.pool,
-                deadline=group_deadline,
-                **fields["params"],
-            )
+            sweep = self._run_group(live, fields, deltas, group_deadline, binding)
         except Exception as exc:
             for pending in live:
                 self._settle_error(pending, exc)
@@ -324,6 +336,46 @@ class MotifService:
             self._settle_result(
                 pending, sweep.get(fields["algorithm"], float(pending.fields["delta"]))
             )
+
+    def _run_group(self, live, fields, deltas, group_deadline, binding):
+        """One batched execution: local pool sweep, or the bound cluster."""
+        from repro.core.registry import get_algorithm
+
+        if binding is not None and get_algorithm(fields["algorithm"]).is_exact:
+            # Cluster-bound exact counts run distributed, one δ at a
+            # time (the shard plan is per-δ anyway).  A packed source
+            # path travels instead of the graph so workers holding the
+            # file count by reference.
+            from repro.core.api import SweepResult, count_motifs
+
+            cluster, source_path = binding
+            sweep = SweepResult()
+            for delta in deltas:
+                counts = count_motifs(
+                    live[0].lease.graph if source_path is None else source_path,
+                    delta,
+                    algorithm=fields["algorithm"],
+                    categories=fields["categories"],
+                    backend=fields["backend"],
+                    cluster=cluster,
+                    deadline=group_deadline,
+                    **fields["params"],
+                )
+                sweep.add(fields["algorithm"], delta, counts)
+            return sweep
+        return count_motifs_sweep(
+            live[0].lease.graph,
+            deltas,
+            algorithms=(fields["algorithm"],),
+            categories=fields["categories"],
+            workers=self.config.workers,
+            seed=fields["seed"],
+            n_samples=fields["n_samples"],
+            backend=fields["backend"],
+            pool=self.pool,
+            deadline=group_deadline,
+            **fields["params"],
+        )
 
     # -- settlement -----------------------------------------------------
     def _settle_result(self, pending: _Pending, counts) -> None:
@@ -367,6 +419,8 @@ class MotifService:
         merged["pool_workers"] = self.pool.workers
         merged["pool_suspended"] = self.pool.suspended
         merged["catalog"] = dict(self.catalog.stats)
+        with self._lock:
+            merged["cluster_graphs"] = sorted(self._cluster_bindings)
         return merged
 
     @property

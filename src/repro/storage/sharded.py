@@ -53,6 +53,28 @@ from repro.graph.temporal_graph import TemporalGraph
 DEFAULT_SHARD_EDGES = 1 << 20
 
 
+def slice_canonical(graph: TemporalGraph, lo: int, hi: int) -> TemporalGraph:
+    """Zero-copy graph over canonical edge ids ``[lo, hi)``.
+
+    Slicing contiguous canonical ranges preserves sortedness and
+    tie-breaking, so the result is itself canonical; node ids keep the
+    parent's space (``num_nodes`` unchanged) so no relabeling is needed
+    anywhere.  Shared by :class:`ShardedGraph` and the distributed
+    worker daemon (which slices its own ``.rgz`` mmap by the
+    coordinator's ``[lo, hi)`` ranges).
+    """
+    if not (0 <= lo <= hi <= graph.num_edges):
+        raise ValidationError(
+            f"slice [{lo}, {hi}) out of range for {graph.num_edges} edges"
+        )
+    return TemporalGraph.from_canonical_arrays(
+        graph.sources[lo:hi],
+        graph.destinations[lo:hi],
+        graph.timestamps[lo:hi],
+        num_nodes=graph.num_nodes,
+    )
+
+
 @dataclass(frozen=True)
 class Shard:
     """One planned slice: own range ``[own_lo, own_hi)`` plus halo."""
@@ -163,20 +185,8 @@ class ShardedGraph:
         return shards
 
     def _slice_graph(self, lo: int, hi: int) -> TemporalGraph:
-        """Zero-copy graph over canonical edge ids ``[lo, hi)``.
-
-        Slicing contiguous canonical ranges preserves sortedness and
-        tie-breaking, so the result is itself canonical; node ids keep
-        the parent's space (``num_nodes`` unchanged) so no relabeling
-        is needed anywhere.
-        """
-        g = self.graph
-        return TemporalGraph.from_canonical_arrays(
-            g.sources[lo:hi],
-            g.destinations[lo:hi],
-            g.timestamps[lo:hi],
-            num_nodes=g.num_nodes,
-        )
+        """Zero-copy slice view (see :func:`slice_canonical`)."""
+        return slice_canonical(self.graph, lo, hi)
 
     # ------------------------------------------------------------------
     # counting
@@ -233,19 +243,21 @@ class ShardedGraph:
 def sharded_count(request, spec, *, sharded: Optional[ShardedGraph] = None):
     """Run a *resolved* exact :class:`CountRequest` via the halo union.
 
-    The registry's shard-budget routing target: builds (or reuses) the
-    :class:`ShardedGraph`, dispatches one registry execution per slice
-    and per non-empty halo, and accumulates ``ΣS − ΣH`` into one grid.
-    Slice requests inherit every execution knob except ``pool`` (a
-    persistent pool would accumulate one shared-memory publication per
-    transient slice) and the sampling fields (meaningless for exact
-    algorithms once resolved).
+    The registry's sharding routing target: builds (or reuses) the
+    :class:`ShardedGraph` from whichever cut mode the request carries
+    (``shard_budget`` / ``num_shards`` / ``shard_boundaries``),
+    dispatches one registry execution per slice and per non-empty halo,
+    and accumulates ``ΣS − ΣH`` into one grid.  Slice requests inherit
+    every execution knob except ``pool`` (a persistent pool would
+    accumulate one shared-memory publication per transient slice) and
+    the sampling fields (meaningless for exact algorithms once
+    resolved).
     """
     from repro.core.counters import MotifCounts
     from repro.core.registry import execute
 
     if sharded is None:
-        sharded = ShardedGraph(request.graph, max_shard_edges=request.shard_budget)
+        sharded = ShardedGraph(request.graph, **request.shard_spec)
     start = time.perf_counter()
     plan = sharded.plan(request.delta)
     total = np.zeros((6, 6), dtype=np.int64)
@@ -266,6 +278,9 @@ def sharded_count(request, spec, *, sharded: Optional[ShardedGraph] = None):
                 graph=piece,
                 source=None,
                 shard_budget=None,
+                num_shards=None,
+                shard_boundaries=None,
+                cluster=None,
                 seed=None,
                 n_samples=None,
                 pool=None,
