@@ -189,6 +189,7 @@ def _cmd_count(args: argparse.Namespace) -> int:
                 f"{sum(c.get('jobs', {}).values())} job(s), "
                 f"{c.get('retries', 0)} retried, "
                 f"{c.get('speculative', 0)} speculative, "
+                f"{c.get('workers_readmitted', 0)} readmitted, "
                 f"{c.get('bytes_shipped', 0):,} bytes shipped"
             )
         if not counts.is_exact:
@@ -216,6 +217,8 @@ def _cmd_count(args: argparse.Namespace) -> int:
 
 
 def _cmd_stream(args: argparse.Namespace) -> int:
+    import itertools
+
     request = StreamRequest(
         delta=args.delta,
         window=args.window,
@@ -226,14 +229,37 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         checkpoint_every=args.checkpoint_every,
         start_method=args.start_method,
     )
-    engine = open_stream(request)
+    if args.resume and not args.checkpoint_dir:
+        raise ReproError("stream --resume requires --checkpoint-dir DIR")
+    engine = None
+    skip = 0
+    if args.resume:
+        from repro.core.streaming import StreamingMotifEngine
+        from repro.storage.checkpoint import has_checkpoint
+
+        if has_checkpoint(args.checkpoint_dir):
+            # Validates the journal + snapshot before any state is
+            # built; corruption raises CheckpointCorruptError here.
+            engine = StreamingMotifEngine.resume_from(
+                args.checkpoint_dir, request=request
+            )
+            skip = engine.records_consumed()
+        # else: nothing committed yet — a run killed before its first
+        # checkpoint resumes from scratch.
+    if engine is None:
+        engine = open_stream(request)
     if args.input == "-":
         edges = iter_edge_lines(sys.stdin, origin="<stdin>")
     else:
         edges = iter_edge_records(args.input)
+    if skip:
+        edges = itertools.islice(edges, skip, None)
+    checkpoint_to = getattr(engine, "checkpoint_to", None)
     try:
         for cp in engine.replay(edges, batch_edges=args.batch_edges):
             print(json.dumps(cp.as_dict(per_motif=args.per_motif)), flush=True)
+            if args.checkpoint_dir and checkpoint_to is not None:
+                checkpoint_to(args.checkpoint_dir)
     finally:
         close = getattr(engine, "close", None)
         if close is not None:
@@ -423,6 +449,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 "total": counts.total(),
                 "elapsed_seconds": counts.elapsed_seconds,
                 "counts": counts.per_motif(),
+                "meta": counts.meta,
             }, indent=2))
         else:
             print(counts.to_text(
@@ -569,6 +596,16 @@ def build_parser() -> argparse.ArgumentParser:
                                "platform default)")
     p_stream.add_argument("--per-motif", action="store_true",
                           help="include the full 36-motif count dict per checkpoint")
+    p_stream.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                          help="commit a crash-safe checkpoint (canonical .rgz "
+                               "window snapshot + CRC'd journal) into DIR after "
+                               "every emitted checkpoint")
+    p_stream.add_argument("--resume", action="store_true",
+                          help="resume from the checkpoint committed in "
+                               "--checkpoint-dir (validated before any state is "
+                               "built; corruption raises a typed error) and skip "
+                               "the already-consumed input prefix; starts fresh "
+                               "when DIR holds no checkpoint yet")
     p_stream.set_defaults(func=_cmd_stream)
 
     p_gen = sub.add_parser("generate", help="write a dataset twin to a file")

@@ -16,7 +16,7 @@ slices inline (``count_edges``), with shipped bytes recorded in the
 result's ``meta["cluster"]``.
 
 **Fault tolerance with exactly-once accounting.**  A transport failure
-(:class:`~repro.errors.WorkerUnavailableError`) marks that worker dead
+(:class:`~repro.errors.WorkerUnavailableError`) marks that worker lost
 and returns its in-flight unit to the queue for re-dispatch; when the
 queue drains while units are still in flight, idle workers
 *speculatively* duplicate the slowest in-flight unit (work-stealing
@@ -25,6 +25,16 @@ keyed by unit id and the **first completion wins**: a re-run or a
 duplicate *replaces nothing and adds nothing* — its grid is either the
 recorded answer or it is dropped — so each unit contributes its
 ``ΣS − ΣH`` term exactly once, whatever the retry history.
+
+**Reconnection.**  A lost worker is not dead forever: its dispatch
+thread backs off on the run's :class:`~repro.distributed.health
+.RetryPolicy` schedule, re-probes the daemon (``ping`` + ``open``),
+and re-admits it mid-run — ``workers_readmitted`` in
+``meta["cluster"]`` counts how often that happened.  Only after
+``max_attempts`` consecutive failed cycles is the worker *retired*
+for the remainder of the run; the run itself fails only when every
+worker has retired (or a single unit exhausts its own
+:data:`MAX_ATTEMPTS` budget).
 
 **Determinism.**  Units are reduced in canonical shard order on the
 coordinator, and every unit's grid is the exact int64 answer of a
@@ -42,12 +52,14 @@ import json
 import socket
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.distributed import health as _health
 from repro.distributed import protocol
+from repro.distributed.health import HealthMonitor, RetryPolicy
 from repro.errors import ReproError, WorkerUnavailableError
 from repro.storage.sharded import ShardedGraph
 
@@ -69,8 +81,10 @@ class WorkerLink:
     Transport failures — connect refusal, timeout, mid-request
     disconnect, a garbled response — raise
     :class:`~repro.errors.WorkerUnavailableError`, the coordinator's
-    retry signal.  Failures *reported* by the worker re-raise as their
-    typed :mod:`repro.errors` classes and are never retried.
+    retry signal; every such message names the worker's ``host:port``
+    and, when the coordinator labelled the link with one, the attempt
+    count.  Failures *reported* by the worker re-raise as their typed
+    :mod:`repro.errors` classes and are never retried.
     """
 
     def __init__(
@@ -79,14 +93,20 @@ class WorkerLink:
         *,
         connect_timeout: float = 10.0,
         timeout: Optional[float] = 600.0,
+        attempt: Optional[str] = None,
     ) -> None:
         host, port = protocol.split_address(address)
         self.address = address
+        self.attempt = attempt
+        self._label = (
+            f"worker {address!r}" if attempt is None
+            else f"worker {address!r} (attempt {attempt})"
+        )
         try:
             self._sock = socket.create_connection((host, port), timeout=connect_timeout)
         except OSError as exc:
             raise WorkerUnavailableError(
-                f"cannot connect to worker {address!r}: {exc}"
+                f"cannot connect to {self._label}: {exc}"
             ) from exc
         self._sock.settimeout(timeout)
         self._file = self._sock.makefile("rb")
@@ -94,23 +114,23 @@ class WorkerLink:
 
     def request(self, message: Dict) -> Dict:
         """One round-trip; returns the ok envelope or raises."""
-        data = json.dumps(message).encode() + b"\n"
+        data = protocol.encode_message(message)  # symmetric frame cap
         try:
             self._sock.sendall(data)
             line = protocol.read_message_line(self._file)
         except OSError as exc:
             raise WorkerUnavailableError(
-                f"worker {self.address!r} connection failed: {exc}"
+                f"{self._label} connection failed: {exc}"
             ) from exc
         if line is None:
             raise WorkerUnavailableError(
-                f"worker {self.address!r} closed the connection"
+                f"{self._label} closed the connection"
             )
         try:
             envelope = json.loads(line)
         except json.JSONDecodeError as exc:
             raise WorkerUnavailableError(
-                f"worker {self.address!r} sent invalid JSON: {exc}"
+                f"{self._label} sent invalid JSON: {exc}"
             ) from exc
         return protocol.raise_from_response(envelope)
 
@@ -149,23 +169,53 @@ class ClusterExecutor:
         self,
         cluster,
         *,
-        connect_timeout: float = 10.0,
-        job_timeout: Optional[float] = 600.0,
+        retry_policy: Optional[RetryPolicy] = None,
+        connect_timeout: Optional[float] = None,
+        job_timeout: Optional[float] = None,
     ) -> None:
         self.addresses = protocol.parse_cluster(cluster)
-        self.connect_timeout = connect_timeout
-        self.job_timeout = job_timeout
+        # Resolve the module default at construction time so deployment
+        # code (and tests) can swap ``health.DEFAULT_RETRY_POLICY``.
+        policy = retry_policy or _health.DEFAULT_RETRY_POLICY
+        if connect_timeout is not None:
+            policy = replace(policy, connect_timeout=connect_timeout)
+        if job_timeout is not None:
+            policy = replace(policy, op_timeout=job_timeout)
+        self.retry_policy = policy
+        self.connect_timeout = policy.connect_timeout
+        self.job_timeout = policy.op_timeout
+        self.health = HealthMonitor(self.addresses)
 
     # -- introspection --------------------------------------------------
     def stats(self) -> Dict[str, Dict]:
-        """Live runtime counters of every reachable worker daemon."""
+        """Live runtime counters of every reachable worker daemon.
+
+        Each reachable worker's payload gains a ``health`` entry (state
+        plus ping round trip); an unreachable worker reports its typed
+        transport error instead.
+        """
         out: Dict[str, Dict] = {}
         for address in self.addresses:
             try:
-                with WorkerLink(address, connect_timeout=self.connect_timeout) as link:
-                    out[address] = link.request({"op": "stats"})["result"]
+                with WorkerLink(
+                    address,
+                    connect_timeout=self.connect_timeout,
+                    timeout=self.job_timeout,
+                ) as link:
+                    tick = time.perf_counter()
+                    link.request({"op": "ping"})
+                    rtt = time.perf_counter() - tick
+                    payload = dict(link.request({"op": "stats"})["result"])
             except WorkerUnavailableError as exc:
-                out[address] = {"unreachable": str(exc)}
+                self.health.mark_lost(address, exc)
+                out[address] = {
+                    "unreachable": str(exc),
+                    "health": {"state": "dead"},
+                }
+                continue
+            self.health.mark_ok(address, rtt_seconds=rtt)
+            payload["health"] = {"state": "alive", "rtt_seconds": rtt}
+            out[address] = payload
         return out
 
     # -- counting -------------------------------------------------------
@@ -195,7 +245,7 @@ class ClusterExecutor:
                 ))
         plan_seconds = time.perf_counter() - tick
 
-        state = _RunState(units)
+        state = _RunState(units, num_workers=len(self.addresses))
         spec_payload = protocol.encode_count_spec(request)
         threads = [
             threading.Thread(
@@ -236,7 +286,10 @@ class ClusterExecutor:
                 "halo_edges": sum(s.halo_edges for s in plan),
                 "max_slice_edges": max((s.slice_edges for s in plan), default=0),
                 "shard_budget": sharded.max_shard_edges,
-                "cluster": state.describe(self.addresses),
+                "cluster": {
+                    **state.describe(self.addresses),
+                    "health": self.health.describe(),
+                },
             },
         )
         result.delta = request.delta
@@ -251,59 +304,89 @@ class ClusterExecutor:
             state.fail(exc)  # here must surface, not hang the wait loop
 
     def _serve_worker(self, address, source, graph, spec_payload, state) -> None:
-        try:
-            link = WorkerLink(
-                address,
-                connect_timeout=self.connect_timeout,
-                timeout=self.job_timeout,
-            )
-        except WorkerUnavailableError as exc:
-            state.worker_lost(address, None, exc)
-            return
-        try:
-            held = False
-            if source is not None:
-                probe = link.request({"op": "open", "source": source})["result"]
-                held = bool(probe.get("held"))
-                if held and probe.get("num_edges") != graph.num_edges:
-                    # Same path, different file: treat as not local
-                    # rather than silently counting a different graph.
-                    held = False
-            state.worker_ready(address, held)
-            while True:
-                unit, speculative = state.acquire(address)
-                if unit is None:
+        policy = self.retry_policy
+        failures = 0  # consecutive failed connect/serve cycles
+        while state.running():
+            if failures:
+                # Back off on the deterministic schedule, then re-probe
+                # the worker — a recovered daemon rejoins the run here.
+                if not state.sleep(policy.delay(failures - 1, salt=address)):
                     return
+            attempt = f"{failures + 1}/{policy.max_attempts}"
+            try:
+                link = WorkerLink(
+                    address,
+                    connect_timeout=policy.connect_timeout,
+                    timeout=policy.op_timeout,
+                    attempt=attempt,
+                )
+            except WorkerUnavailableError as exc:
+                failures += 1
+                self.health.mark_lost(address, exc)
+                state.worker_lost(address, None, exc)
+                if failures >= policy.max_attempts:
+                    state.worker_retired(address)
+                    return
+                continue
+            unit = None
+            try:
                 try:
                     tick = time.perf_counter()
-                    if held:
-                        envelope = link.request({
-                            "op": "count_slice", "source": source,
-                            "lo": unit.lo, "hi": unit.hi, "spec": spec_payload,
-                        })
-                    else:
-                        payload = protocol.encode_edge_slice(graph, unit.lo, unit.hi)
-                        state.add_shipped(protocol.edge_slice_bytes(payload))
-                        envelope = link.request({
-                            "op": "count_edges", "edges": payload,
-                            "spec": spec_payload,
-                        })
-                    counts = protocol.decode_counts(envelope["result"]["counts"])
-                    state.complete(
-                        address, unit, counts,
-                        seconds=time.perf_counter() - tick,
-                        speculative=speculative,
+                    link.request({"op": "ping"})
+                    self.health.mark_ok(
+                        address, rtt_seconds=time.perf_counter() - tick
                     )
+                    held = False
+                    if source is not None:
+                        probe = link.request({"op": "open", "source": source})["result"]
+                        held = bool(probe.get("held"))
+                        if held and probe.get("num_edges") != graph.num_edges:
+                            # Same path, different file: treat as not
+                            # local rather than silently counting a
+                            # different graph.
+                            held = False
+                    state.worker_ready(address, held)
+                    while True:
+                        unit, speculative = state.acquire(address)
+                        if unit is None:
+                            return
+                        tick = time.perf_counter()
+                        if held:
+                            envelope = link.request({
+                                "op": "count_slice", "source": source,
+                                "lo": unit.lo, "hi": unit.hi, "spec": spec_payload,
+                            })
+                        else:
+                            payload = protocol.encode_edge_slice(graph, unit.lo, unit.hi)
+                            state.add_shipped(protocol.edge_slice_bytes(payload))
+                            envelope = link.request({
+                                "op": "count_edges", "edges": payload,
+                                "spec": spec_payload,
+                            })
+                        counts = protocol.decode_counts(envelope["result"]["counts"])
+                        state.complete(
+                            address, unit, counts,
+                            seconds=time.perf_counter() - tick,
+                            speculative=speculative,
+                        )
+                        self.health.mark_ok(address)
+                        unit = None
+                        failures = 0  # a completed unit resets the budget
                 except WorkerUnavailableError as exc:
+                    failures += 1
+                    self.health.mark_lost(address, exc)
                     state.worker_lost(address, unit, exc)
-                    return
+                    if failures >= policy.max_attempts:
+                        state.worker_retired(address)
+                        return
+                    # else: fall out to the backoff + reconnect cycle
                 except ReproError as exc:
                     # Deterministic failure (bad request, corrupt
                     # source): retrying elsewhere cannot succeed.
                     state.fail(exc)
                     return
-        finally:
-            link.close()
+            finally:
+                link.close()
 
     # -- completion wait ------------------------------------------------
     @staticmethod
@@ -314,11 +397,13 @@ class ClusterExecutor:
                     raise state.error
                 if state.finished():
                     return
-                if not state.live_workers and not state.started_workers:
-                    pass  # startup race: no worker has reported yet
-                elif not state.live_workers:
+                if len(state.retired_workers) >= state.num_workers:
+                    # A merely *lost* worker is still reconnecting on
+                    # its backoff schedule; only when every worker has
+                    # exhausted its attempt budget is the run hopeless.
                     raise WorkerUnavailableError(
-                        f"all cluster workers failed; last error: "
+                        f"all {state.num_workers} cluster workers "
+                        f"exhausted their retry budgets; last error: "
                         f"{state.last_failure}"
                     )
                 request.check_deadline()
@@ -328,8 +413,9 @@ class ClusterExecutor:
 class _RunState:
     """Shared dispatch state of one distributed count (lock-guarded)."""
 
-    def __init__(self, units: List[_Unit]) -> None:
+    def __init__(self, units: List[_Unit], *, num_workers: int) -> None:
         self.units = {unit.uid: unit for unit in units}
+        self.num_workers = num_workers
         self.cond = threading.Condition()
         self.pending = collections.deque(unit.uid for unit in units)
         self.results: Dict[int, np.ndarray] = {}
@@ -341,6 +427,8 @@ class _RunState:
         self.live_workers: set = set()
         self.started_workers: set = set()
         self.local_workers: set = set()
+        self.lost_workers: set = set()
+        self.retired_workers: set = set()
         self.error: Optional[BaseException] = None
         self.last_failure: Optional[str] = None
         self.aborted = False
@@ -349,23 +437,31 @@ class _RunState:
             "speculative": 0,
             "duplicates_ignored": 0,
             "worker_failures": 0,
+            "workers_readmitted": 0,
             "bytes_shipped": 0,
         }
 
     # -- worker lifecycle ----------------------------------------------
-    def worker_ready(self, address: str, held: bool) -> None:
+    def worker_ready(self, address: str, held: bool) -> bool:
+        """Admit (or re-admit) a probed worker; ``True`` on readmission."""
         with self.cond:
+            readmitted = address in self.lost_workers
+            self.lost_workers.discard(address)
             self.started_workers.add(address)
             self.live_workers.add(address)
             self.jobs_by_worker.setdefault(address, 0)
             if held:
                 self.local_workers.add(address)
+            if readmitted:
+                self.stats["workers_readmitted"] += 1
             self.cond.notify_all()
+            return readmitted
 
     def worker_lost(self, address, unit, exc) -> None:
         with self.cond:
             self.started_workers.add(address)
             self.live_workers.discard(address)
+            self.lost_workers.add(address)
             self.stats["worker_failures"] += 1
             self.last_failure = f"{address}: {exc}"
             if unit is not None:
@@ -381,6 +477,28 @@ class _RunState:
                         self.stats["retries"] += 1
                         self.pending.appendleft(unit.uid)
             self.cond.notify_all()
+
+    def worker_retired(self, address: str) -> None:
+        """This worker's attempt budget is spent for the rest of the run."""
+        with self.cond:
+            self.retired_workers.add(address)
+            self.cond.notify_all()
+
+    def running(self) -> bool:
+        with self.cond:
+            return self.error is None and not self.aborted and not self.finished()
+
+    def sleep(self, seconds: float) -> bool:
+        """Backoff wait that aborts early; ``False`` when the run ended."""
+        deadline = time.monotonic() + max(0.0, seconds)
+        with self.cond:
+            while True:
+                if self.error is not None or self.aborted or self.finished():
+                    return False
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return True
+                self.cond.wait(timeout=min(remaining, 0.1))
 
     # -- job acquisition -------------------------------------------------
     def acquire(self, address: str):
@@ -463,6 +581,7 @@ class _RunState:
             return {
                 "workers": list(addresses),
                 "local_workers": sorted(self.local_workers),
+                "retired_workers": sorted(self.retired_workers),
                 "jobs": dict(self.jobs_by_worker),
                 "shard_seconds": dict(self.shard_seconds),
                 **{k: int(v) for k, v in self.stats.items()},
@@ -476,6 +595,14 @@ def cluster_count(request, spec):
     return executor.count(request, spec)
 
 
-def cluster_runtime_stats(cluster, *, connect_timeout: float = 10.0) -> Dict[str, Dict]:
+def cluster_runtime_stats(
+    cluster,
+    *,
+    connect_timeout: Optional[float] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+) -> Dict[str, Dict]:
     """Runtime counters of every worker in ``cluster`` (CLI helper)."""
-    return ClusterExecutor(cluster, connect_timeout=connect_timeout).stats()
+    executor = ClusterExecutor(
+        cluster, connect_timeout=connect_timeout, retry_policy=retry_policy
+    )
+    return executor.stats()

@@ -15,6 +15,11 @@ Ops
 ``hello``
     ``{"op": "hello"}`` → worker identity: pid, pool size, protocol
     revision, and the packed sources it currently holds open.
+``ping``
+    ``{"op": "ping"}`` → ``{"pong": true, "pid": ...}``.  The health
+    heartbeat (:mod:`repro.distributed.health`): cheap enough to probe
+    before every (re)admission, and the coordinator measures its round
+    trip as the worker's latency sample.
 ``open``
     ``{"op": "open", "source": <path>}`` → ``{"held": bool, ...}``.
     The locality probe: a worker that can open the coordinator's
@@ -43,6 +48,7 @@ Ops
 from __future__ import annotations
 
 import base64
+import json
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -62,11 +68,16 @@ from repro.serve.protocol import (  # noqa: F401  (re-exports)
 )
 
 #: Worker op vocabulary (anything else is a typo → ``bad_request``).
-WORKER_OPS = ("hello", "open", "count_slice", "count_edges", "stats", "shutdown")
+WORKER_OPS = (
+    "hello", "ping", "open", "count_slice", "count_edges", "stats", "shutdown",
+)
 
-#: Ceiling on one JSONL message.  Shipped edge slices dominate: three
-#: int64/float64 columns at a one-million-edge shard are ~32 MB of
-#: base64, so the cap is far above the serve daemon's 1 MiB.
+#: Ceiling on one JSONL message, enforced **symmetrically**: inbound
+#: via :func:`read_message_line`, outbound via :func:`encode_message`
+#: (both the coordinator's requests and the worker's responses).
+#: Shipped edge slices dominate: three int64/float64 columns at a
+#: one-million-edge shard are ~32 MB of base64, so the cap is far
+#: above the serve daemon's 1 MiB.
 MAX_MESSAGE = 128 << 20
 
 #: Fields a count spec may carry — the resolved :class:`CountRequest`
@@ -228,6 +239,25 @@ def split_address(address: str) -> Tuple[str, int]:
     (entry,) = parse_cluster(address)
     host, _, port = entry.rpartition(":")
     return host, int(port)
+
+
+def encode_message(payload: Dict, *, limit: int = MAX_MESSAGE) -> bytes:
+    """One JSONL frame, length-capped before it touches a socket.
+
+    The outbound half of the frame cap: :func:`read_message_line`
+    protects a *reader* from an unbounded peer, this protects the
+    *peer* from us — a worker whose result would exceed the limit
+    raises here (mapped to a typed error envelope, which always fits)
+    instead of streaming a frame the coordinator is guaranteed to
+    reject after buffering 128 MiB of it.
+    """
+    data = json.dumps(payload).encode() + b"\n"
+    if len(data) > limit:
+        shown = f"{limit >> 20} MiB" if limit >= (1 << 20) else f"{limit}-byte"
+        raise ValidationError(
+            f"message of {len(data)} bytes exceeds the {shown} protocol limit"
+        )
+    return data
 
 
 def read_message_line(stream) -> Optional[bytes]:

@@ -70,7 +70,15 @@ class _Handler(socketserver.StreamRequestHandler):
 
     def _reply(self, envelope: Dict) -> bool:
         try:
-            self.wfile.write(json.dumps(envelope).encode() + b"\n")
+            data = protocol.encode_message(envelope)
+        except ValidationError as exc:
+            # The result outgrew the frame cap (symmetric with the
+            # read-side limit).  Error envelopes are tiny, so degrading
+            # to one never recurses.
+            request_id = envelope.get("id") if isinstance(envelope, dict) else None
+            data = protocol.encode_message(protocol.error_response(exc, request_id))
+        try:
+            self.wfile.write(data)
             self.wfile.flush()
             return True
         except OSError:
@@ -156,6 +164,8 @@ class WorkerDaemon:
             )
         if op == "hello":
             return self._op_hello()
+        if op == "ping":
+            return {"pong": True, "pid": os.getpid()}
         if op == "open":
             return self._op_open(message)
         if op == "count_slice":

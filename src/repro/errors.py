@@ -89,6 +89,36 @@ class StorageVersionError(StorageFormatError):
     """
 
 
+class CheckpointCorruptError(ReproError, ValueError):
+    """A streaming checkpoint directory failed validation at resume time.
+
+    Raised by :func:`repro.storage.checkpoint.read_checkpoint` (and
+    therefore ``StreamingMotifEngine.resume_from``) whenever the
+    journal or the window snapshot is torn, truncated, bit-flipped, or
+    inconsistent — journal CRC mismatch, snapshot CRC mismatch against
+    the journal's recorded digest, missing files, malformed payloads.
+    Validation happens *before* any engine state is built, so a corrupt
+    checkpoint can never produce a silently partial resume.
+    """
+
+
+class ClusterDegradedError(ReproError, RuntimeError):
+    """A cluster-bound graph's circuit breaker is open and no local
+    fallback exists.
+
+    Raised by the serving layer when consecutive
+    :class:`WorkerUnavailableError` failures opened the breaker on a
+    cluster-bound catalog graph and the request cannot be answered
+    locally (no packed ``.rgz`` held on this machine, or local
+    fallback disabled).  ``retry_after`` hints how many seconds until
+    the breaker half-opens and cluster attempts resume.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
 class UnknownGraphError(ReproError, KeyError):
     """A request named a graph the serving catalog does not hold."""
 

@@ -339,6 +339,99 @@ class StreamingEdgeStore:
         return evicted
 
     # ------------------------------------------------------------------
+    # checkpoint / restore
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        """JSON-ready store bookkeeping for a streaming checkpoint.
+
+        The live edges themselves travel separately (a packed canonical
+        snapshot via :meth:`slice_arrays`); this is everything else a
+        :meth:`restore` needs — the label table and the window/drop
+        counters.  Arrival sequence numbers are deliberately absent:
+        the canonical snapshot preserves equal-timestamp arrival order,
+        so a restore may renumber from zero (seq is only ever a
+        tie-break within one timestamp).
+        """
+        return {
+            "labels": list(self._labels),
+            "watermark": self._watermark,
+            "t_latest": self._t_latest,
+            "num_evicted": self._num_evicted,
+            "num_dropped_late": self._num_dropped_late,
+            "num_self_loops_dropped": self._num_self_loops_dropped,
+            "version": self._version,
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        *,
+        labels,
+        src: np.ndarray,
+        dst: np.ndarray,
+        t: np.ndarray,
+        watermark: Optional[float],
+        t_latest: Optional[float],
+        num_evicted: int = 0,
+        num_dropped_late: int = 0,
+        num_self_loops_dropped: int = 0,
+        version: int = 0,
+        max_runs: int = 8,
+        on_self_loop: str = "drop",
+    ) -> "StreamingEdgeStore":
+        """Rebuild a store from a canonical snapshot + bookkeeping.
+
+        ``src``/``dst``/``t`` are internal-id edge columns in canonical
+        ``(t, arrival)`` order (what a checkpoint snapshot holds).  The
+        restored store renumbers arrival sequences ``0..m-1`` in that
+        order — equal-timestamp ties keep their relative arrival order,
+        so every future slice, canonicalization, and count over the
+        restored store is bit-identical to one over the original.
+        Validation failures raise :class:`ValidationError`; the caller
+        (the checkpoint layer) maps them to its typed corruption error.
+        """
+        store = cls(max_runs=max_runs, on_self_loop=on_self_loop)
+        store._labels = list(labels)
+        store._index = {label: i for i, label in enumerate(store._labels)}
+        if len(store._index) != len(store._labels):
+            raise ValidationError("restore: duplicate node labels in snapshot")
+        src = np.ascontiguousarray(np.asarray(src, dtype=np.int64))
+        dst = np.ascontiguousarray(np.asarray(dst, dtype=np.int64))
+        t = np.ascontiguousarray(np.asarray(t))
+        if not (len(src) == len(dst) == len(t)):
+            raise ValidationError("restore: edge column lengths disagree")
+        m = len(t)
+        if m:
+            if np.any(t[1:] < t[:-1]):
+                raise ValidationError("restore: snapshot timestamps are not sorted")
+            lo = min(int(src.min()), int(dst.min()))
+            hi = max(int(src.max()), int(dst.max()))
+            if lo < 0 or hi >= len(store._labels):
+                raise ValidationError(
+                    f"restore: node ids outside the {len(store._labels)}-label table"
+                )
+            if watermark is not None and float(t[0]) < watermark:
+                raise ValidationError(
+                    "restore: live edge below the recorded watermark"
+                )
+            if t_latest is None or float(t[-1]) > t_latest:
+                raise ValidationError(
+                    "restore: live edge newer than the recorded t_latest"
+                )
+            store._runs = [_Run(src, dst, t, np.arange(m, dtype=np.int64))]
+        store._next_seq = m
+        # Keep the journal's numeric types: coercing an int watermark
+        # to float would change resumed JSON output (120 vs 120.0) and
+        # break bit-identical checkpoint comparisons.
+        store._watermark = watermark
+        store._t_latest = t_latest
+        store._num_evicted = int(num_evicted)
+        store._num_dropped_late = int(num_dropped_late)
+        store._num_self_loops_dropped = int(num_self_loops_dropped)
+        store._version = int(version)
+        return store
+
+    # ------------------------------------------------------------------
     # slicing
     # ------------------------------------------------------------------
     def slice_arrays(

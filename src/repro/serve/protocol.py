@@ -45,6 +45,7 @@ import numpy as np
 from repro.core.counters import MotifCounts
 from repro.errors import (
     BackpressureError,
+    ClusterDegradedError,
     DatasetError,
     DeadlineExceededError,
     GraphFormatError,
@@ -67,6 +68,7 @@ ERROR_CODES: Tuple[Tuple[Type[BaseException], str, int], ...] = (
     (QuotaExceededError, "quota_exceeded", 429),
     (BackpressureError, "overloaded", 429),
     (DeadlineExceededError, "deadline_exceeded", 504),
+    (ClusterDegradedError, "cluster_degraded", 503),
     (GraphFormatError, "bad_request", 400),
     (ValidationError, "bad_request", 400),
     (ParallelExecutionError, "execution_failed", 500),
@@ -95,13 +97,23 @@ def classify_error(exc: BaseException) -> Tuple[str, int]:
 
 
 def error_response(exc: BaseException, request_id: Optional[str] = None) -> Dict:
-    """The full failure envelope for an exception."""
+    """The full failure envelope for an exception.
+
+    Exceptions carrying a ``retry_after`` hint (an open circuit
+    breaker's :class:`~repro.errors.ClusterDegradedError`) surface it
+    as an extra error field, so clients — and HTTP adapters via the
+    ``Retry-After`` header — know when to come back.
+    """
     code, status = classify_error(exc)
+    error: Dict = {"code": code, "status": status, "message": str(exc)}
+    retry_after = getattr(exc, "retry_after", None)
+    if retry_after is not None:
+        error["retry_after"] = float(retry_after)
     return {
         "ok": False,
         "version": PROTOCOL_VERSION,
         "id": request_id,
-        "error": {"code": code, "status": status, "message": str(exc)},
+        "error": error,
     }
 
 
@@ -122,7 +134,10 @@ def raise_from_response(response: Dict) -> Dict:
         return response
     error = response.get("error") or {}
     cls = _CODE_TO_ERROR.get(error.get("code"), ReproError)
-    raise cls(error.get("message", "server error"))
+    message = error.get("message", "server error")
+    if cls is ClusterDegradedError:
+        raise cls(message, retry_after=float(error.get("retry_after", 0.0)))
+    raise cls(message)
 
 
 # ----------------------------------------------------------------------

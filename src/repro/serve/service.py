@@ -76,6 +76,16 @@ class ServiceConfig:
     #: Suspend idle pool workers after this many seconds (see
     #: :class:`~repro.parallel.pool.WorkerPool`); ``None`` keeps them.
     idle_timeout: Optional[float] = None
+    #: Consecutive cluster failures before a cluster-bound graph's
+    #: circuit breaker opens (see
+    #: :class:`~repro.distributed.health.CircuitBreaker`).
+    breaker_threshold: int = 3
+    #: Seconds an open breaker waits before half-opening for one trial.
+    breaker_reset: float = 30.0
+    #: Whether cluster-bound requests may fall back to local counting
+    #: while the breaker is open (``False``: degraded requests raise
+    #: :class:`~repro.errors.ClusterDegradedError` instead).
+    cluster_fallback: bool = True
 
     def __post_init__(self) -> None:
         from repro.errors import ValidationError
@@ -88,6 +98,14 @@ class ServiceConfig:
             raise ValidationError(f"max_pending must be >= 1, got {self.max_pending}")
         if self.tenant_quota < 1:
             raise ValidationError(f"tenant_quota must be >= 1, got {self.tenant_quota}")
+        if self.breaker_threshold < 1:
+            raise ValidationError(
+                f"breaker_threshold must be >= 1, got {self.breaker_threshold}"
+            )
+        if self.breaker_reset < 0:
+            raise ValidationError(
+                f"breaker_reset must be >= 0, got {self.breaker_reset}"
+            )
 
 
 class _Waiter:
@@ -162,6 +180,8 @@ class MotifService:
         self._tenant_inflight: Dict[str, int] = {}
         #: Graph name -> (cluster spec, packed source path or None).
         self._cluster_bindings: Dict[str, Tuple[str, Optional[str]]] = {}
+        #: Graph name -> circuit breaker (cluster-bound graphs only).
+        self._breakers: Dict[str, object] = {}
         self._closed = False
         self.stats: Dict[str, int] = {
             "requests": 0,
@@ -173,6 +193,9 @@ class MotifService:
             "rejected_quota": 0,
             "rejected_backpressure": 0,
             "deadline_misses": 0,
+            "cluster_failures": 0,
+            "cluster_fallbacks": 0,
+            "cluster_degraded": 0,
         }
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, daemon=True, name="repro-serve-dispatch"
@@ -207,9 +230,16 @@ class MotifService:
         self.catalog.add(name, source)
         with self._lock:
             if cluster is not None:
+                from repro.distributed.health import CircuitBreaker
+
                 self._cluster_bindings[name] = (cluster, source_path)
+                self._breakers[name] = CircuitBreaker(
+                    threshold=self.config.breaker_threshold,
+                    reset_after=self.config.breaker_reset,
+                )
             else:
                 self._cluster_bindings.pop(name, None)
+                self._breakers.pop(name, None)
         if cluster is None and isinstance(source, TemporalGraph) and not self.pool.closed:
             # Static graphs never reload; publish (pinned) now so the
             # first request does not pay the copy.  Live sources are
@@ -342,27 +372,7 @@ class MotifService:
         from repro.core.registry import get_algorithm
 
         if binding is not None and get_algorithm(fields["algorithm"]).is_exact:
-            # Cluster-bound exact counts run distributed, one δ at a
-            # time (the shard plan is per-δ anyway).  A packed source
-            # path travels instead of the graph so workers holding the
-            # file count by reference.
-            from repro.core.api import SweepResult, count_motifs
-
-            cluster, source_path = binding
-            sweep = SweepResult()
-            for delta in deltas:
-                counts = count_motifs(
-                    live[0].lease.graph if source_path is None else source_path,
-                    delta,
-                    algorithm=fields["algorithm"],
-                    categories=fields["categories"],
-                    backend=fields["backend"],
-                    cluster=cluster,
-                    deadline=group_deadline,
-                    **fields["params"],
-                )
-                sweep.add(fields["algorithm"], delta, counts)
-            return sweep
+            return self._run_cluster_group(live, fields, deltas, group_deadline, binding)
         return count_motifs_sweep(
             live[0].lease.graph,
             deltas,
@@ -376,6 +386,114 @@ class MotifService:
             deadline=group_deadline,
             **fields["params"],
         )
+
+    def _run_cluster_group(self, live, fields, deltas, group_deadline, binding):
+        """Cluster-bound exact counts, guarded by the graph's breaker.
+
+        Distributed, one δ at a time (the shard plan is per-δ anyway);
+        a packed source path travels instead of the graph so workers
+        holding the file count by reference.  Consecutive
+        :class:`~repro.errors.WorkerUnavailableError` failures open the
+        graph's circuit breaker, and open-breaker (or just-failed)
+        requests degrade to :meth:`_run_local_fallback` instead of
+        hammering a dead cluster.
+        """
+        from repro.core.api import SweepResult, count_motifs
+        from repro.errors import WorkerUnavailableError
+
+        cluster, source_path = binding
+        name = live[0].lease.name
+        with self._lock:
+            breaker = self._breakers.get(name)
+        if breaker is not None and not breaker.allow():
+            return self._run_local_fallback(
+                live, fields, deltas, group_deadline, name, source_path,
+                breaker, cause=None,
+            )
+        try:
+            sweep = SweepResult()
+            for delta in deltas:
+                counts = count_motifs(
+                    live[0].lease.graph if source_path is None else source_path,
+                    delta,
+                    algorithm=fields["algorithm"],
+                    categories=fields["categories"],
+                    backend=fields["backend"],
+                    cluster=cluster,
+                    deadline=group_deadline,
+                    **fields["params"],
+                )
+                counts.meta.setdefault("cluster", {})["breaker_state"] = (
+                    "closed" if breaker is None else breaker.state
+                )
+                sweep.add(fields["algorithm"], delta, counts)
+        except WorkerUnavailableError as exc:
+            with self._lock:
+                self.stats["cluster_failures"] += 1
+            if breaker is not None:
+                breaker.record_failure()
+            return self._run_local_fallback(
+                live, fields, deltas, group_deadline, name, source_path,
+                breaker, cause=exc,
+            )
+        if breaker is not None:
+            breaker.record_success()
+        return sweep
+
+    def _run_local_fallback(
+        self, live, fields, deltas, group_deadline, name, source_path,
+        breaker, *, cause,
+    ):
+        """Graceful degradation for an unreachable cluster.
+
+        When fallback is enabled and the graph's data is held locally —
+        its packed ``.rgz`` on disk, or the in-memory catalog graph —
+        the request is answered by local sharded counting (same exact
+        counts: the repo-wide invariant).  Otherwise the typed
+        :class:`~repro.errors.ClusterDegradedError` tells clients how
+        long until the breaker half-opens.
+        """
+        import os
+
+        from repro.core.api import SweepResult, count_motifs
+        from repro.errors import ClusterDegradedError
+
+        state = "closed" if breaker is None else breaker.state
+        can_fall_back = self.config.cluster_fallback and (
+            source_path is None or os.path.exists(source_path)
+        )
+        if can_fall_back:
+            with self._lock:
+                self.stats["cluster_fallbacks"] += 1
+            sweep = SweepResult()
+            for delta in deltas:
+                counts = count_motifs(
+                    live[0].lease.graph if source_path is None else source_path,
+                    delta,
+                    algorithm=fields["algorithm"],
+                    categories=fields["categories"],
+                    backend=fields["backend"],
+                    num_shards=max(2, self.config.workers),
+                    deadline=group_deadline,
+                    **fields["params"],
+                )
+                counts.meta.setdefault("cluster", {}).update(
+                    {"breaker_state": state, "degraded": True}
+                )
+                sweep.add(fields["algorithm"], delta, counts)
+            return sweep
+        with self._lock:
+            self.stats["cluster_degraded"] += 1
+        retry_after = 0.0 if breaker is None else breaker.retry_after()
+        detail = "circuit breaker is open" if cause is None else str(cause)
+        error = ClusterDegradedError(
+            f"cluster for graph {name!r} is unavailable ({detail}); "
+            f"retry in {retry_after:.1f}s",
+            retry_after=retry_after,
+        )
+        if cause is not None:
+            raise error from cause
+        raise error
 
     # -- settlement -----------------------------------------------------
     def _settle_result(self, pending: _Pending, counts) -> None:
@@ -421,6 +539,10 @@ class MotifService:
         merged["catalog"] = dict(self.catalog.stats)
         with self._lock:
             merged["cluster_graphs"] = sorted(self._cluster_bindings)
+            merged["breakers"] = {
+                name: breaker.describe()
+                for name, breaker in sorted(self._breakers.items())
+            }
         return merged
 
     @property

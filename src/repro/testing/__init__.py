@@ -1,0 +1,6 @@
+"""Deterministic fault-injection helpers for the chaos test suites.
+
+Not imported by any runtime module — this package exists so the tests
+under ``tests/distributed`` and ``tests/storage`` can inject network
+and file-level faults reproducibly.  See :mod:`repro.testing.faults`.
+"""

@@ -1,0 +1,358 @@
+"""Deterministic fault injection: a seeded TCP chaos proxy + file corruptors.
+
+The chaos suites need *reproducible* failures — a worker whose
+connection resets at a known byte offset, a journal torn at a chosen
+point — so every primitive here is parameterized, never sampled from
+ambient randomness.  The only pseudo-randomness is the proxy's
+``seed``, which deterministically picks a byte offset for faults that
+leave ``after_bytes=None``, via the same crc32 scheme as
+:meth:`repro.distributed.health.RetryPolicy.delay`.
+
+Network faults
+--------------
+:class:`ChaosProxy` sits between a client and a real server::
+
+    with ChaosProxy("127.0.0.1:9001", faults={0: Fault("reset")}) as proxy:
+        link = WorkerLink(proxy.address)   # connection 0 -> reset
+        link = WorkerLink(proxy.address)   # connection 1 -> clean
+
+Connections are numbered in accept order; ``faults`` maps that index
+to a :class:`Fault` (or is a callable ``index -> Fault``).  Faults act
+on the **server -> client** direction — the client observes a broken
+response — while client -> server traffic always flows, so the server
+sees a well-formed request before the failure:
+
+``pass``
+    Forward transparently (the default for unmapped connections).
+``delay``
+    Forward, but sleep ``seconds`` before relaying each chunk past
+    ``after_bytes`` — a slow worker that still answers correctly.
+``reset``
+    Forward ``after_bytes``, then hard-close with ``SO_LINGER(0)``
+    so the client sees ``ECONNRESET`` mid-response.
+``truncate``
+    Forward ``after_bytes``, then close cleanly — EOF mid-message.
+``drop``
+    Forward ``after_bytes``, then blackhole: the connection stays
+    open but silent, exercising client timeouts.
+
+File faults
+-----------
+:func:`torn_write`, :func:`truncate_file` and :func:`bitflip_file`
+simulate a crash mid-write and on-disk corruption for the checkpoint
+suites.  They operate on paths the test owns; nothing here is used by
+runtime code.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Union
+
+FAULT_KINDS = ("pass", "delay", "reset", "truncate", "drop")
+
+#: Range for seed-derived byte offsets when ``after_bytes`` is None.
+_AUTO_OFFSET_RANGE = 4096
+
+_CHUNK = 65536
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected failure on a proxied connection.
+
+    ``after_bytes`` counts server->client payload bytes forwarded
+    before the fault engages; ``None`` means "let the proxy's seed
+    pick an offset" (deterministic per connection index).
+    ``seconds`` is only meaningful for ``delay``.
+    """
+
+    kind: str = "pass"
+    after_bytes: Optional[int] = 0
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}")
+        if self.after_bytes is not None and self.after_bytes < 0:
+            raise ValueError(f"after_bytes must be >= 0, got {self.after_bytes}")
+        if self.seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {self.seconds}")
+
+
+FaultMap = Union[Dict[int, Fault], Callable[[int], Optional[Fault]]]
+
+_PASS = Fault("pass")
+
+
+class ChaosProxy:
+    """A TCP proxy that injects :class:`Fault`\\ s deterministically.
+
+    Start it (or use it as a context manager), point the client at
+    :attr:`address` instead of the real server, and each accepted
+    connection is relayed through a pair of pump threads with the
+    mapped fault applied to the server->client stream.
+    """
+
+    def __init__(
+        self,
+        target_address: str,
+        *,
+        faults: Optional[FaultMap] = None,
+        seed: int = 0,
+        host: str = "127.0.0.1",
+    ) -> None:
+        target_host, _, target_port = target_address.rpartition(":")
+        if not target_host or not target_port.isdigit():
+            raise ValueError(f"target address must be 'host:port', got {target_address!r}")
+        self.target = (target_host, int(target_port))
+        self.faults = faults
+        self.seed = seed
+        self.host = host
+        self.connections = 0
+        self._listener: Optional[socket.socket] = None
+        self._threads: List[threading.Thread] = []
+        self._sockets: List[socket.socket] = []
+        self._lock = threading.Lock()
+        self._stopping = False
+        self.address: Optional[str] = None
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "ChaosProxy":
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, 0))
+        listener.listen(16)
+        # Poll rather than block forever: a close() from stop() cannot
+        # interrupt an accept() already in the syscall.
+        listener.settimeout(0.2)
+        self._listener = listener
+        self.address = f"{self.host}:{listener.getsockname()[1]}"
+        accept = threading.Thread(target=self._accept_loop, daemon=True)
+        accept.start()
+        self._threads.append(accept)
+        return self
+
+    def stop(self) -> None:
+        with self._lock:
+            self._stopping = True
+            sockets = list(self._sockets)
+            self._sockets.clear()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        for sock in sockets:
+            _release(sock)
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads.clear()
+
+    def __enter__(self) -> "ChaosProxy":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- fault resolution -----------------------------------------------
+    def fault_for(self, index: int) -> Fault:
+        """The fault applied to connection ``index`` (accept order)."""
+        fault: Optional[Fault]
+        if self.faults is None:
+            fault = None
+        elif callable(self.faults):
+            fault = self.faults(index)
+        else:
+            fault = self.faults.get(index)
+        if fault is None:
+            return _PASS
+        if fault.after_bytes is None:
+            offset = zlib.crc32(f"{self.seed}:{index}".encode()) % _AUTO_OFFSET_RANGE
+            fault = Fault(fault.kind, after_bytes=offset, seconds=fault.seconds)
+        return fault
+
+    # -- plumbing -------------------------------------------------------
+    def _track(self, sock: socket.socket) -> bool:
+        with self._lock:
+            if self._stopping:
+                return False
+            self._sockets.append(sock)
+            return True
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while True:
+            try:
+                client, _ = self._listener.accept()
+            except socket.timeout:
+                if self._stopping:
+                    return
+                continue
+            except OSError:
+                return  # listener closed by stop()
+            index = self.connections
+            self.connections += 1
+            fault = self.fault_for(index)
+            try:
+                upstream = socket.create_connection(self.target, timeout=10.0)
+            except OSError:
+                client.close()
+                continue
+            if not (self._track(client) and self._track(upstream)):
+                client.close()
+                upstream.close()
+                return
+            pumps = [
+                threading.Thread(
+                    target=self._pump, args=(client, upstream, _PASS), daemon=True
+                ),
+                threading.Thread(
+                    target=self._pump, args=(upstream, client, fault), daemon=True
+                ),
+            ]
+            for pump in pumps:
+                pump.start()
+            with self._lock:
+                self._threads.extend(pumps)
+
+    def _pump(self, src: socket.socket, dst: socket.socket, fault: Fault) -> None:
+        forwarded = 0
+        budget = fault.after_bytes if fault.kind != "pass" else None
+        try:
+            while True:
+                try:
+                    chunk = src.recv(_CHUNK)
+                except OSError:
+                    break
+                if not chunk:
+                    break
+                if budget is not None and forwarded + len(chunk) >= budget:
+                    head = chunk[: max(0, budget - forwarded)]
+                    if fault.kind == "delay":
+                        if head:
+                            dst.sendall(head)
+                        time.sleep(fault.seconds)
+                        dst.sendall(chunk[len(head):])
+                        forwarded += len(chunk)
+                        continue
+                    if head:
+                        dst.sendall(head)
+                    forwarded += len(head)
+                    if fault.kind == "reset":
+                        _abort(dst)
+                        break
+                    if fault.kind == "truncate":
+                        break
+                    if fault.kind == "drop":
+                        self._blackhole(src)
+                        break
+                else:
+                    dst.sendall(chunk)
+                    forwarded += len(chunk)
+        except OSError:
+            pass
+        finally:
+            # Releasing (not just closing) matters: the sibling pump is
+            # blocked in recv() on one of these sockets, and a bare
+            # close() is deferred by its in-syscall file reference — no
+            # FIN would reach the peer until that thread woke on its own.
+            _release(src)
+            _release(dst)
+
+    @staticmethod
+    def _blackhole(src: socket.socket) -> None:
+        """Keep reading (so the server is not blocked) but forward nothing."""
+        try:
+            while src.recv(_CHUNK):
+                pass
+        except OSError:
+            pass
+
+
+def _release(sock: socket.socket) -> None:
+    """Shut down then close: wakes any thread blocked in recv() on
+    ``sock`` and puts the FIN on the wire immediately, where a bare
+    ``close()`` from a sibling thread would be deferred."""
+    try:
+        sock.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+    try:
+        sock.close()
+    except OSError:
+        pass
+
+
+def _abort(sock: socket.socket) -> None:
+    """Abort a connection so the peer sees ECONNRESET.
+
+    ``SHUT_RD`` wakes the sibling pump without emitting anything on the
+    wire (a full shutdown would send a FIN first, turning the reset
+    into a clean EOF); ``SO_LINGER(0)`` then makes the close an RST.
+    """
+    try:
+        sock.shutdown(socket.SHUT_RD)
+    except OSError:
+        pass
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0))
+    except OSError:
+        pass
+    try:
+        sock.close()
+    except OSError:
+        pass
+
+
+# ----------------------------------------------------------------------
+# file corruption
+# ----------------------------------------------------------------------
+
+def torn_write(path: str, data: bytes, keep_bytes: int) -> None:
+    """Write only the first ``keep_bytes`` of ``data`` — a crash mid-write."""
+    if not 0 <= keep_bytes <= len(data):
+        raise ValueError(f"keep_bytes must be in [0, {len(data)}], got {keep_bytes}")
+    with open(path, "wb") as handle:
+        handle.write(data[:keep_bytes])
+
+
+def truncate_file(path: str, keep_bytes: int) -> int:
+    """Truncate ``path`` to ``keep_bytes``; returns the original size."""
+    with open(path, "rb+") as handle:
+        handle.seek(0, 2)
+        size = handle.tell()
+        if keep_bytes > size:
+            raise ValueError(f"keep_bytes {keep_bytes} exceeds file size {size}")
+        handle.truncate(keep_bytes)
+    return size
+
+
+def bitflip_file(path: str, offset: int, mask: int = 0x01) -> None:
+    """XOR the byte at ``offset`` with ``mask`` (must actually change it)."""
+    if not 0 < mask < 256:
+        raise ValueError(f"mask must be in [1, 255], got {mask}")
+    with open(path, "rb+") as handle:
+        handle.seek(0, 2)
+        size = handle.tell()
+        if not 0 <= offset < size:
+            raise ValueError(f"offset {offset} out of range for {size}-byte file")
+        handle.seek(offset)
+        byte = handle.read(1)[0]
+        handle.seek(offset)
+        handle.write(bytes([byte ^ mask]))
+
+
+__all__ = [
+    "FAULT_KINDS",
+    "Fault",
+    "ChaosProxy",
+    "torn_write",
+    "truncate_file",
+    "bitflip_file",
+]
